@@ -1,0 +1,93 @@
+// M1 — google-benchmark microbenchmarks for the substrate hot paths: field
+// arithmetic, Linial polynomial evaluation, AG rule steps, and full engine
+// rounds.  These bound the simulator's throughput, not the paper's claims.
+
+#include <benchmark/benchmark.h>
+
+#include "agc/coloring/ag.hpp"
+#include "agc/coloring/linial.hpp"
+#include "agc/graph/generators.hpp"
+#include "agc/math/polynomial.hpp"
+#include "agc/math/primes.hpp"
+#include "agc/runtime/iterative.hpp"
+
+using namespace agc;
+
+namespace {
+
+void BM_IsPrime(benchmark::State& state) {
+  std::uint64_t n = 1'000'000'007ULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::is_prime(n));
+    n += 2;
+  }
+}
+BENCHMARK(BM_IsPrime);
+
+void BM_NextPrime(benchmark::State& state) {
+  std::uint64_t n = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::next_prime(n));
+    n += 1009;
+    if (n > 1'000'000) n = 1000;
+  }
+}
+BENCHMARK(BM_NextPrime);
+
+void BM_PolynomialEval(benchmark::State& state) {
+  const math::GF field(1009);
+  const auto poly = math::Polynomial::from_digits(field, 123456789, 6);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly.eval(x));
+    x = (x + 1) % 1009;
+  }
+}
+BENCHMARK(BM_PolynomialEval);
+
+void BM_AgStep(benchmark::State& state) {
+  const auto delta = static_cast<std::size_t>(state.range(0));
+  coloring::AgRule rule(coloring::ag_modulus(delta, 4 * delta * delta));
+  graph::Rng rng(7);
+  std::vector<coloring::Color> nbrs(delta);
+  const std::uint64_t q = rule.q();
+  for (auto& c : nbrs) c = rng.below(q * q);
+  std::sort(nbrs.begin(), nbrs.end());
+  coloring::Color own = q * q - 1;
+  for (auto _ : state) {
+    own = rule.step(own, nbrs);
+    benchmark::DoNotOptimize(own);
+  }
+}
+BENCHMARK(BM_AgStep)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_EngineRound(benchmark::State& state) {
+  const auto delta = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_regular(1000, delta, 3);
+  coloring::AgRule rule(coloring::ag_modulus(delta, 1000));
+  // Measure raw synchronous rounds through the SET-LOCAL transport.
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::IterativeOptions io;
+    io.max_rounds = 8;
+    io.check_proper_each_round = false;
+    auto init = coloring::identity_coloring(g.n());
+    state.ResumeTiming();
+    auto res = runtime::run_locally_iterative(g, std::move(init), rule, io);
+    benchmark::DoNotOptimize(res.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * g.n());
+}
+BENCHMARK(BM_EngineRound)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_LinialScheduleBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    coloring::LinialSchedule sched(1ULL << 40, 64);
+    benchmark::DoNotOptimize(sched.stages());
+  }
+}
+BENCHMARK(BM_LinialScheduleBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,177 @@
+// Experiments E2/E3/E4 — self-stabilization (Section 4):
+//   Theorem 4.3: (Delta+1)-coloring stabilizes in O(Delta + log* n) rounds
+//     after the last fault, with adjustment radius 1.
+//   Theorem 4.5/4.6: MIS stabilizes in O(Delta + log* n), adjustment radius 2.
+//   Theorem 4.7: maximal matching and (2Delta-1)-edge-coloring via the
+//     line-graph simulation, same stabilization bound.
+//
+// The shape to check: stabilization time is flat in the number of
+// simultaneous faults (worst-case over batches), linear-ish in Delta, and
+// recoloring stays inside the 1-hop neighborhood of faults.
+
+#include <cstdio>
+
+#include "agc/graph/checks.hpp"
+#include "agc/graph/generators.hpp"
+#include "agc/runtime/faults.hpp"
+#include "agc/selfstab/ss_coloring.hpp"
+#include "agc/selfstab/ss_line.hpp"
+#include "agc/selfstab/ss_mis.hpp"
+#include "bench_util.hpp"
+
+using namespace agc;
+using selfstab::PaletteMode;
+using selfstab::SsConfig;
+
+namespace {
+
+runtime::Engine make_engine(const graph::Graph& g, std::size_t delta_bound) {
+  runtime::EngineOptions opts;
+  opts.delta_bound = delta_bound;
+  return runtime::Engine(g, runtime::Transport(runtime::Model::LOCAL), opts);
+}
+
+void fault_batch_sweep() {
+  std::printf("-- E2a: coloring stabilization vs simultaneous fault count "
+              "(Delta=10, n=600) --\n\n");
+  benchutil::Table t({"faults", "stab rounds (ODelta)", "stab rounds (exact)",
+                      "stabilized"});
+  const std::size_t dmax = 10;
+  const auto g = graph::random_bounded_degree(600, dmax, 2200, 42);
+  for (std::size_t k : {1, 4, 16, 64, 256}) {
+    std::size_t rounds[2] = {0, 0};
+    bool ok = true;
+    int idx = 0;
+    for (PaletteMode mode : {PaletteMode::ODelta, PaletteMode::ExactDeltaPlusOne}) {
+      SsConfig cfg(g.n(), dmax, mode);
+      auto engine = make_engine(g, dmax);
+      engine.install(selfstab::ss_coloring_factory(cfg));
+      auto pre = selfstab::run_until_stable(engine, cfg, 20000);
+      ok = ok && pre.stabilized;
+      runtime::Adversary adv(1000 + k);
+      adv.corrupt_random(engine, k, cfg.span());
+      adv.clone_neighbor(engine, k / 2 + 1);
+      auto rep = selfstab::run_until_stable(engine, cfg, 20000);
+      ok = ok && rep.stabilized;
+      rounds[idx++] = rep.rounds_to_stable;
+    }
+    t.add_row({benchutil::num(std::uint64_t{k}), benchutil::num(std::uint64_t{rounds[0]}),
+               benchutil::num(std::uint64_t{rounds[1]}), ok ? "yes" : "NO"});
+  }
+  t.print();
+}
+
+void delta_sweep() {
+  std::printf("-- E2b: stabilization vs Delta (64 faults, n=600) --\n\n");
+  benchutil::Table t({"Delta", "coloring", "MIS", "stabilized"});
+  for (std::size_t delta : {4, 8, 16, 32}) {
+    const auto g = graph::random_regular(600, delta, 7 * delta);
+    bool ok = true;
+
+    SsConfig cfg(g.n(), delta, PaletteMode::ODelta);
+    auto engine = make_engine(g, delta);
+    engine.install(selfstab::ss_coloring_factory(cfg));
+    ok &= selfstab::run_until_stable(engine, cfg, 40000).stabilized;
+    runtime::Adversary adv(delta);
+    adv.corrupt_random(engine, 64, cfg.span());
+    auto col = selfstab::run_until_stable(engine, cfg, 40000);
+    ok &= col.stabilized;
+
+    auto engine2 = make_engine(g, delta);
+    engine2.install(selfstab::ss_mis_factory(cfg));
+    ok &= selfstab::run_until_mis_stable(engine2, cfg, 40000).stabilized;
+    runtime::Adversary adv2(delta + 1);
+    adv2.corrupt_random(engine2, 64, cfg.span(), 0);
+    adv2.corrupt_random(engine2, 64, 4, 1);
+    auto mis = selfstab::run_until_mis_stable(engine2, cfg, 40000);
+    ok &= mis.stabilized;
+
+    t.add_row({benchutil::num(std::uint64_t{delta}),
+               benchutil::num(std::uint64_t{col.rounds_to_stable}),
+               benchutil::num(std::uint64_t{mis.rounds_to_stable}),
+               ok ? "yes" : "NO"});
+  }
+  t.print();
+}
+
+void adjustment_radius() {
+  std::printf("-- E2c/E3: adjustment radius — recolored vertices by distance "
+              "from the single fault --\n\n");
+  benchutil::Table t({"trial", "changed d=0", "d=1", "d=2", "d>2 (must be 0)"});
+  const auto g = graph::random_regular(400, 8, 9);
+  SsConfig cfg(g.n(), 8, PaletteMode::ODelta);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto engine = make_engine(g, 8);
+    engine.install(selfstab::ss_coloring_factory(cfg));
+    (void)selfstab::run_until_stable(engine, cfg, 20000);
+    const auto before = selfstab::current_colors(engine);
+    const auto victim = static_cast<graph::Vertex>(37 * (trial + 1));
+    engine.corrupt_ram(victim, 0, before[g.neighbors(victim)[0]]);
+    auto rep = selfstab::run_until_stable(engine, cfg, 20000);
+
+    // BFS distances from the victim.
+    std::vector<int> dist(g.n(), -1);
+    std::vector<graph::Vertex> queue{victim};
+    dist[victim] = 0;
+    for (std::size_t h = 0; h < queue.size(); ++h) {
+      for (graph::Vertex u : g.neighbors(queue[h])) {
+        if (dist[u] < 0) {
+          dist[u] = dist[queue[h]] + 1;
+          queue.push_back(u);
+        }
+      }
+    }
+    std::size_t byd[4] = {0, 0, 0, 0};
+    for (graph::Vertex v = 0; v < g.n(); ++v) {
+      if (rep.colors[v] != before[v]) {
+        ++byd[dist[v] <= 2 ? dist[v] : 3];
+      }
+    }
+    t.add_row({benchutil::num(std::uint64_t(trial)), benchutil::num(std::uint64_t{byd[0]}),
+               benchutil::num(std::uint64_t{byd[1]}), benchutil::num(std::uint64_t{byd[2]}),
+               benchutil::num(std::uint64_t{byd[3]})});
+  }
+  t.print();
+}
+
+void line_graph_tasks() {
+  std::printf("-- E4: line-graph simulation — MM and (2Delta-1)-edge-coloring "
+              "stabilization (engine rounds; 2 per algorithm round) --\n\n");
+  benchutil::Table t({"Delta", "edge-coloring", "palette", "matching",
+                      "stabilized"});
+  for (std::size_t delta : {3, 5, 8}) {
+    const auto g = graph::random_regular(200, delta, 3 * delta);
+    bool ok = true;
+
+    selfstab::SsLineConfig ec(g.n(), delta, selfstab::LineTask::EdgeColoring);
+    auto e1 = make_engine(g, delta);
+    e1.install(selfstab::ss_line_factory(ec));
+    auto r1 = selfstab::run_until_line_stable(e1, ec, 60000);
+    ok &= r1.stabilized;
+    const auto palette = graph::palette_size(selfstab::current_edge_colors(e1));
+
+    selfstab::SsLineConfig mm(g.n(), delta, selfstab::LineTask::MaximalMatching);
+    auto e2 = make_engine(g, delta);
+    e2.install(selfstab::ss_line_factory(mm));
+    auto r2 = selfstab::run_until_line_stable(e2, mm, 60000);
+    ok &= r2.stabilized;
+
+    t.add_row({benchutil::num(std::uint64_t{delta}),
+               benchutil::num(std::uint64_t{r1.rounds_to_stable}),
+               benchutil::num(std::uint64_t{palette}),
+               benchutil::num(std::uint64_t{r2.rounds_to_stable}),
+               ok ? "yes" : "NO"});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E2/E3/E4: fully-dynamic self-stabilization (Section 4) ==\n\n");
+  fault_batch_sweep();
+  delta_sweep();
+  adjustment_radius();
+  line_graph_tasks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Experiment E8 — the SET-LOCAL model (Section 1.2.3).
+//
+// In SET-LOCAL, vertices have no IDs, can only broadcast, and receive the
+// sender-anonymous multiset of neighbor values.  Starting from a given proper
+// O(Delta^2)-coloring, the AG family runs unchanged (its rules are pure
+// functions of the 1-hop color multiset) and reaches Delta+1 colors in
+// O(Delta) rounds, beating the previous best O(Delta log Delta) of
+// Kuhn-Wattenhofer/Szegedy-Vishwanathan.  The engine's SET-LOCAL transport
+// enforces the model: any per-port send throws.
+
+#include <cstdio>
+
+#include "agc/coloring/ag.hpp"
+#include "agc/coloring/ag3.hpp"
+#include "agc/coloring/kuhn_wattenhofer.hpp"
+#include "agc/coloring/reduction.hpp"
+#include "agc/graph/generators.hpp"
+#include "bench_util.hpp"
+
+using namespace agc;
+
+namespace {
+
+/// A proper O(Delta^2)-coloring assumed given by the model.  The paper's
+/// bound is worst-case over ALL proper seeds, so the colors are spread over
+/// the whole palette (a hash start point per vertex) rather than greedily
+/// compacted — a compact seed would be trivially final already.
+std::vector<coloring::Color> seed_coloring(const graph::Graph& g,
+                                           std::uint64_t palette) {
+  std::vector<coloring::Color> colors(g.n(), palette);
+  for (graph::Vertex v = 0; v < g.n(); ++v) {
+    const std::uint64_t start = (v * 0x9E3779B97F4A7C15ULL) % palette;
+    for (std::uint64_t k = 0; k < palette; ++k) {
+      const coloring::Color c = (start + k) % palette;
+      bool used = false;
+      for (graph::Vertex u : g.neighbors(v)) {
+        if (colors[u] == c) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        colors[v] = c;
+        break;
+      }
+    }
+  }
+  return colors;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E8: SET-LOCAL model — Delta+1 from a given O(Delta^2)-"
+              "coloring (n=1000) ==\n\n");
+  benchutil::Table t({"Delta", "AG+reduce (ours)", "mixed exact (ours)",
+                      "KW (prior best)", "palette", "proper"});
+  for (std::size_t delta : {8, 16, 32, 64, 128}) {
+    const auto g = graph::random_regular(1000, delta, 5 * delta);
+    const std::uint64_t q0 = coloring::ag_modulus(delta, (delta + 1) * (delta + 1));
+    const auto seed = seed_coloring(g, q0 * q0);
+
+    runtime::IterativeOptions io;
+    io.model = runtime::Model::SET_LOCAL;
+
+    auto ag = coloring::additive_group_color(g, seed, delta, io);
+    auto ours = coloring::reduce_colors(g, std::move(ag.colors), delta + 1, io);
+    const std::size_t ours_rounds = ag.rounds + ours.rounds;
+
+    auto exact = coloring::exact_delta_plus_one(g, seed, delta, io);
+
+    auto kw = coloring::kuhn_wattenhofer_reduce(g, seed, delta, io);
+
+    const bool ok = ours.converged && exact.converged && kw.converged &&
+                    graph::is_proper_coloring(g, ours.colors) &&
+                    graph::is_proper_coloring(g, exact.colors) &&
+                    graph::is_proper_coloring(g, kw.colors);
+    t.add_row({benchutil::num(std::uint64_t{delta}),
+               benchutil::num(std::uint64_t{ours_rounds}),
+               benchutil::num(std::uint64_t{exact.rounds}),
+               benchutil::num(std::uint64_t{kw.rounds}),
+               benchutil::num(std::uint64_t{graph::palette_size(ours.colors)}),
+               ok ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf("Shape check: ours ~ c*Delta, KW ~ c*Delta*log(Delta/ ): the "
+              "ratio grows with Delta.\nLower bound context: Omega(Delta^{1/3}) "
+              "holds in this model [Hefetz et al.].\n");
+  return 0;
+}

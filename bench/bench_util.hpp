@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// Minimal fixed-width table printer shared by the experiment harnesses.
+/// Each bench binary regenerates one paper artifact (see DESIGN.md section 3)
+/// and prints it as rows; EXPERIMENTS.md records the paper-vs-measured
+/// comparison.
+
+namespace benchutil {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<std::size_t> w(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c) {
+        w[c] = std::max(w[c], r[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& r) {
+      std::printf("|");
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        std::printf(" %-*s |", static_cast<int>(w[c]),
+                    c < r.size() ? r[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    line(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s|", std::string(w[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) line(r);
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string num(std::uint64_t v) { return std::to_string(v); }
+inline std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+}  // namespace benchutil

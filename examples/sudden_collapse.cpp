@@ -1,0 +1,54 @@
+// The phenomenon that breaks the Szegedy-Vishwanathan barrier, visualized.
+//
+// SV's heuristic lower bound assumed every locally-iterative algorithm must
+// shrink the palette gradually — Theta(Delta log(a/b)) rounds to go from
+// a*Delta to b*Delta colors.  The AG coloring does nothing of the sort: the
+// palette stays Omega(Delta^2)-ish for most of the run while the special
+// pair structure quietly aligns, then collapses to O(Delta) colors in the
+// final rounds ("a very special type of coloring that can be very
+// efficiently reduced" — exactly what SV said would be needed).
+//
+//   $ ./sudden_collapse [n] [delta] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "agc/coloring/ag.hpp"
+#include "agc/coloring/linial.hpp"
+#include "agc/runtime/trace.hpp"
+#include "agc/graph/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace agc;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
+  const std::size_t delta = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 48;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
+
+  const auto g = graph::random_regular(n, delta, seed);
+  std::cout << "graph: n=" << g.n() << " m=" << g.m() << " Delta=" << delta
+            << "\n\n";
+
+  // Seed with an O(Delta^2)-coloring spread over the whole palette (the
+  // worst-case shape for a gradual reducer).
+  auto lin =
+      coloring::linial_color(g, coloring::identity_coloring(g.n()), g.n(), delta);
+  const std::uint64_t q =
+      coloring::ag_modulus(delta, graph::max_color(lin.colors) + 1);
+  const coloring::AgRule rule(q);
+
+  runtime::TraceRecorder trace(g, [&](runtime::Color c) { return rule.is_final(c); });
+  runtime::IterativeOptions opts;
+  opts.on_round = trace.observer();
+  auto res = runtime::run_locally_iterative(g, std::move(lin.colors), rule, opts);
+
+  std::cout << "AG with q=" << q << ": converged=" << res.converged
+            << " rounds=" << res.rounds
+            << " proper_each_round=" << res.proper_each_round << "\n\n";
+  trace.write_ascii(std::cout);
+  std::cout << "\nThe palette implodes to <= " << q
+            << " = O(Delta) colors within a handful of rounds — far faster\n"
+               "than the Theta(Delta log Delta) gradual reduction the SV "
+               "barrier argument assumed\n(and the worst case is still only "
+            << q << " rounds, Corollary 3.5).\n";
+  return res.converged ? 0 : 1;
+}

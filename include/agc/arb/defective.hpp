@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agc/graph/checks.hpp"
+#include "agc/graph/graph.hpp"
+
+/// \file defective.hpp
+/// p-defective O((Delta/p)^2)-coloring in log* n + O(1) rounds, in the style
+/// of Barenboim-Elkin-Kuhn [9] — the seed coloring of Section 6's
+/// Arbdefective-Color.
+///
+/// The construction is defective Linial: at every reduction stage a vertex
+/// evaluates its digit polynomial at the point with the FEWEST collisions
+/// among same-interval neighbors instead of requiring zero.  With field size
+/// q >= d*Delta/b, the chosen point has at most b new collisions
+/// (pigeonhole); merged neighbors (identical colors, hence identical
+/// polynomials) may stay merged, so per-stage budgets b_t summing to p bound
+/// the final defect by p.
+
+namespace agc::arb {
+
+using graph::Color;
+
+struct DefectiveResult {
+  std::vector<Color> colors;
+  std::size_t rounds = 0;
+  std::size_t palette_bound = 0;  ///< the final interval size, O((Delta/p)^2)
+  std::size_t max_defect = 0;     ///< measured
+  bool converged = false;
+};
+
+/// Compute a p-defective coloring of g starting from the identity ID-coloring
+/// over `id_space` (>= g.n()).
+[[nodiscard]] DefectiveResult defective_color(const graph::Graph& g, std::size_t p,
+                                              std::uint64_t id_space);
+
+}  // namespace agc::arb

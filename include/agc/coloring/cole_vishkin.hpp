@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file cole_vishkin.hpp
+/// Cole-Vishkin deterministic coin tossing [15]: 3-coloring of directed
+/// chains (paths and cycles) in log* n + O(1) rounds.
+///
+/// Section 5 uses it to remove the defect of Kuhn's 2-defective
+/// Delta^2-edge-coloring: each color class of that coloring is a disjoint
+/// union of edge-chains, and Cole-Vishkin 3-colors every chain in parallel.
+/// The core step is a pure label function, so the edge-coloring vertex
+/// programs can drive it over their incident edges while the transport
+/// accounts the shrinking label widths (Lemma 5.2).
+
+namespace agc::coloring::cv {
+
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/// One deterministic-coin-tossing step: the new label encodes the position
+/// of the lowest bit where `own` differs from `pred`, plus own's bit there.
+/// Requires own != pred; adjacent outputs are then guaranteed distinct.
+[[nodiscard]] std::uint64_t step(std::uint64_t own, std::uint64_t pred) noexcept;
+
+/// Label a chain head uses in place of a predecessor (differs from own in
+/// bit 0, so step() stays well-defined).
+[[nodiscard]] constexpr std::uint64_t virtual_pred(std::uint64_t own) noexcept {
+  return own ^ 1ULL;
+}
+
+/// Number of step() iterations that take any labels below `id_space` to
+/// labels < 6 (the fixed point of the width recurrence): log* + O(1).
+[[nodiscard]] int rounds_to_six(std::uint64_t id_space) noexcept;
+
+/// One shift-down round removing color `c` (c in {5,4,3}): an element labeled
+/// c recolors to the smallest of {0,1,2} unused by its chain neighbors.
+/// `pred`/`succ` pass npos-marked sentinels via has_pred/has_succ.
+[[nodiscard]] std::uint64_t reduce_step(std::uint64_t own, bool has_pred,
+                                        std::uint64_t pred, bool has_succ,
+                                        std::uint64_t succ,
+                                        std::uint64_t c) noexcept;
+
+struct ChainColoring {
+  std::vector<std::uint64_t> colors;  ///< final labels, all < 3
+  std::size_t rounds = 0;             ///< synchronous rounds consumed
+};
+
+/// 3-color a disjoint union of directed chains/cycles given successor links
+/// (succ[i] == npos for a tail) and distinct initial ids < id_space.
+/// Lockstep simulation of the distributed algorithm; `rounds` is its exact
+/// round count (log* id_space + O(1)).
+[[nodiscard]] ChainColoring three_color_chains(std::span<const std::size_t> succ,
+                                               std::span<const std::uint64_t> ids,
+                                               std::uint64_t id_space);
+
+}  // namespace agc::coloring::cv

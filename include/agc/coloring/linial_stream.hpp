@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "agc/coloring/linial.hpp"
+
+/// \file linial_stream.hpp
+/// The O(1)-words-of-memory variant of Linial's step (end of Section 3).
+///
+/// The standard implementation materializes every neighbor's digit
+/// polynomial.  The paper observes that a vertex can instead stream: for each
+/// candidate evaluation point e it re-reads each neighbor's color from its
+/// receive buffer, evaluates that neighbor's polynomial AT e on the fly
+/// (Horner over the base-q digits of the color — O(d) time, O(1) words), and
+/// keeps only (e, g_own(e)) plus a loop counter.  Same output as
+/// mod_linial_step, constant working memory.
+
+namespace agc::coloring {
+
+/// Evaluate the digit polynomial of `value` (base-q digits, degree <= d) at
+/// point e over GF(q), using O(1) words of memory.
+[[nodiscard]] std::uint64_t eval_digit_poly(std::uint64_t q, std::uint64_t value,
+                                            std::uint32_t d,
+                                            std::uint64_t e) noexcept;
+
+/// Drop-in replacement for mod_linial_step (plain variant, no forbidden set)
+/// that uses O(1) working memory.  `same_interval_xs` stands in for the
+/// per-neighbor receive buffers B_u of the paper: it is re-read once per
+/// candidate point, never copied or transformed.
+[[nodiscard]] Color mod_linial_step_stream(
+    const LinialSchedule& sched, std::size_t j, std::uint64_t x,
+    std::span<const std::uint64_t> same_interval_xs);
+
+/// LinialRule with the streaming evaluator; bit-for-bit the same colorings.
+class StreamLinialRule final : public runtime::IterativeRule {
+ public:
+  explicit StreamLinialRule(LinialSchedule schedule) : sched_(std::move(schedule)) {}
+
+  [[nodiscard]] Color step(Color own,
+                           std::span<const Color> neighbors) const override;
+  [[nodiscard]] bool is_final(Color c) const override {
+    return c < sched_.interval_size(0);
+  }
+  [[nodiscard]] std::uint32_t color_bits() const override {
+    return runtime::width_of(sched_.total_span() - 1);
+  }
+
+ private:
+  LinialSchedule sched_;
+};
+
+}  // namespace agc::coloring

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agc/coloring/palette.hpp"
+#include "agc/runtime/iterative.hpp"
+
+/// \file pipeline.hpp
+/// End-to-end (Delta+1)-coloring pipelines — the library's front door.
+///
+/// Every pipeline starts from the identity ID-coloring, runs Linial's
+/// reduction to O(Delta^2) colors in log* n + O(1) rounds, and then differs
+/// in how it closes the O(Delta^2) -> Delta+1 gap:
+///
+///   color_delta_plus_one       — AG, then the O(Delta)-color greedy
+///                                reduction (Corollary 3.6): O(Delta + log* n).
+///   color_delta_plus_one_exact — AG, then the Section 7 mixed AG(p)/AG(N)
+///                                rule; no standard reduction at all.
+///   color_kuhn_wattenhofer     — the KW/SV barrier baseline:
+///                                O(Delta log Delta + log* n).
+///   color_linial_greedy        — Goldberg-Plotkin-Shannon-style baseline:
+///                                greedy reduction straight from O(Delta^2)
+///                                colors, O(Delta^2 + log* n).
+///   color_o_delta              — stop after AG with O(Delta) colors (the
+///                                palette the self-stabilizing algorithm of
+///                                Section 4.1 maintains).
+
+namespace agc::coloring {
+
+struct PipelineOptions {
+  runtime::IterativeOptions iter;
+  /// ID space = id_space_factor * n; sweeping it exercises the log* term.
+  std::uint64_t id_space_factor = 1;
+};
+
+struct PipelineReport {
+  std::vector<Color> colors;
+  std::size_t palette = 0;        ///< number of distinct colors used
+  std::size_t rounds_linial = 0;  ///< log* phase
+  std::size_t rounds_core = 0;    ///< AG / KW / greedy phase
+  std::size_t rounds_finish = 0;  ///< final reduction phase (if any)
+  std::size_t total_rounds = 0;
+  bool converged = false;
+  bool proper = false;
+  bool proper_each_round = false;  ///< the locally-iterative invariant
+  runtime::Metrics metrics;
+};
+
+[[nodiscard]] PipelineReport color_delta_plus_one(const graph::Graph& g,
+                                                  const PipelineOptions& opts = {});
+
+[[nodiscard]] PipelineReport color_delta_plus_one_exact(
+    const graph::Graph& g, const PipelineOptions& opts = {});
+
+[[nodiscard]] PipelineReport color_kuhn_wattenhofer(const graph::Graph& g,
+                                                    const PipelineOptions& opts = {});
+
+[[nodiscard]] PipelineReport color_linial_greedy(const graph::Graph& g,
+                                                 const PipelineOptions& opts = {});
+
+[[nodiscard]] PipelineReport color_o_delta(const graph::Graph& g,
+                                           const PipelineOptions& opts = {});
+
+}  // namespace agc::coloring

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agc/graph/checks.hpp"
+#include "agc/graph/graph.hpp"
+
+/// \file defective_edge.hpp
+/// Kuhn's 2-defective Delta^2-edge-coloring (the first stage of Section 5)
+/// and the chain structure its color classes induce.
+///
+/// Every edge is oriented toward its larger-ID endpoint; the tail assigns it
+/// a color i from the tail's outgoing palette {1..Delta}, the head a color j
+/// from the head's incoming palette.  Any vertex touches at most one class-
+/// <i,j> edge as a tail and one as a head, so each color class is a disjoint
+/// union of directed edge-chains (paths/cycles) — exactly what Cole-Vishkin
+/// 3-colors to remove the defect.
+///
+/// These are host-side reference implementations used by tests and by the
+/// benchmark harness; the distributed CONGEST/Bit-Round program in
+/// edge_coloring.hpp computes the same objects with messages.
+
+namespace agc::edge {
+
+using graph::Color;
+
+struct EdgePair {
+  std::uint32_t i = 0;  ///< tail's outgoing color, 1-based
+  std::uint32_t j = 0;  ///< head's incoming color, 1-based
+};
+
+/// The 2-defective pair coloring, aligned with g.edges().  Edge (u,v) with
+/// u < v is oriented u -> v (toward the larger ID).
+[[nodiscard]] std::vector<EdgePair> kuhn_defective_pairs(const graph::Graph& g);
+
+/// Within-class successor links: succ[e] is the index (into g.edges()) of
+/// the class-<i,j> edge leaving e's head, or SIZE_MAX if none.
+[[nodiscard]] std::vector<std::size_t> class_successors(
+    const graph::Graph& g, const std::vector<EdgePair>& pairs);
+
+/// The proper 3*Delta^2-edge-coloring after Cole-Vishkin defect removal:
+/// color(e) = ((i-1)*Delta + (j-1))*3 + k with k in {0,1,2}.  `rounds_out`,
+/// if non-null, receives the simulated round count (log* + O(1)).
+[[nodiscard]] std::vector<Color> defect_free_edge_coloring(
+    const graph::Graph& g, std::size_t* rounds_out = nullptr);
+
+}  // namespace agc::edge

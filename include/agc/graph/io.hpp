@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "agc/graph/checks.hpp"
+#include "agc/graph/graph.hpp"
+
+/// \file io.hpp
+/// Graph and coloring I/O so the library runs on user-supplied instances.
+///
+/// Edge-list format (DIMACS-flavored, whitespace-separated):
+///   c <comment>              -- ignored
+///   p edge <n> <m>           -- header (m is advisory)
+///   e <u> <v>                -- 1-based endpoints, as in DIMACS .col files
+/// Bare "<u> <v>" lines (0-based) are also accepted when no header is seen.
+
+namespace agc::graph {
+
+/// Parse a graph from an edge-list stream.  Throws std::runtime_error on
+/// malformed input (negative ids, out-of-range endpoints, bad headers).
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+
+/// Parse from a file path (convenience wrapper).
+[[nodiscard]] Graph read_edge_list_file(const std::string& path);
+
+/// Write in the DIMACS-flavored format above (1-based).
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Graphviz DOT export; when `colors` is non-empty, vertices get a
+/// color-class label for quick visual inspection.
+void write_dot(std::ostream& out, const Graph& g,
+               std::span<const Color> colors = {});
+
+/// CSV export of a coloring: "vertex,color" per line with a header row.
+void write_coloring_csv(std::ostream& out, std::span<const Color> colors);
+
+}  // namespace agc::graph

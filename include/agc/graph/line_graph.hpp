@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "agc/graph/graph.hpp"
+
+/// \file line_graph.hpp
+/// The line graph L(G): one vertex per edge of G, adjacent iff the edges
+/// share an endpoint.  Edge-coloring and maximal-matching problems on G are
+/// vertex-coloring and MIS problems on L(G) (Section 4.2 of the paper).
+
+namespace agc::graph {
+
+struct LineGraph {
+  Graph graph;                    ///< L(G) itself.
+  std::vector<Edge> edge_of;      ///< edge_of[i] = the G-edge behind L(G) vertex i.
+
+  /// Index of a G-edge in L(G), or n() if absent.
+  [[nodiscard]] Vertex vertex_of(Edge e) const;
+};
+
+/// Build L(G).  Vertices of L(G) are numbered by the lexicographic rank of
+/// their canonical G-edge, so the mapping is deterministic.
+[[nodiscard]] LineGraph line_graph(const Graph& g);
+
+}  // namespace agc::graph

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "agc/graph/graph.hpp"
+
+/// \file orientation.hpp
+/// Edge orientations.  Kuhn's defective edge-coloring (Section 5) orients
+/// every edge toward the endpoint with the larger ID; the arbdefective
+/// analysis (Lemma 6.2) orients edges toward the endpoint that finalized
+/// first.  An orientation with out-degree <= k on an acyclic ordering
+/// witnesses arboricity <= k.
+
+namespace agc::graph {
+
+/// Directed view of a graph's edges: oriented[i] is true iff edges()[i]
+/// points first -> second.
+struct Orientation {
+  std::vector<Edge> edges;       ///< canonical edges, sorted
+  std::vector<bool> toward_second;  ///< true: first -> second
+
+  [[nodiscard]] std::vector<std::size_t> out_degrees(std::size_t n) const;
+  [[nodiscard]] std::size_t max_out_degree(std::size_t n) const;
+};
+
+/// Orient every edge toward the endpoint with the larger id (Kuhn's rule).
+[[nodiscard]] Orientation orient_by_id(const Graph& g);
+
+/// Orient every edge from the endpoint earlier in `order` toward the one
+/// later in it (order[v] = rank, 0 = first).  With a smallest-last
+/// (degeneracy) order this gives out-degree <= degeneracy.
+[[nodiscard]] Orientation orient_by_order(const Graph& g,
+                                          std::span<const std::size_t> order);
+
+/// Smallest-last vertex order (rank per vertex); companion to degeneracy().
+[[nodiscard]] std::vector<std::size_t> smallest_last_order(const Graph& g);
+
+}  // namespace agc::graph

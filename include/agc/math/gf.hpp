@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "agc/math/primes.hpp"
+
+/// \file gf.hpp
+/// Arithmetic in Z_m (additive group modulo m) and GF(p) (prime field).
+///
+/// The AG family of algorithms performs its color updates in Z_q for a prime
+/// q (Section 3 of the paper), but the exact-(Delta+1) finisher AG(N) works in
+/// Z_N for a *composite* N = Delta+1 (Section 7).  `Zm` models the additive
+/// group (addition/subtraction only); `GF` additionally provides
+/// multiplication and inversion, and asserts a prime modulus.
+
+namespace agc::math {
+
+/// The additive group of integers modulo m.  Values are canonical (< m).
+class Zm {
+ public:
+  explicit Zm(std::uint64_t modulus) : m_(modulus) { assert(m_ >= 1); }
+
+  [[nodiscard]] std::uint64_t modulus() const noexcept { return m_; }
+
+  [[nodiscard]] std::uint64_t reduce(std::uint64_t x) const noexcept { return x % m_; }
+
+  [[nodiscard]] std::uint64_t add(std::uint64_t a, std::uint64_t b) const noexcept {
+    assert(a < m_ && b < m_);
+    std::uint64_t s = a + b;
+    return s >= m_ ? s - m_ : s;
+  }
+
+  [[nodiscard]] std::uint64_t sub(std::uint64_t a, std::uint64_t b) const noexcept {
+    assert(a < m_ && b < m_);
+    return a >= b ? a - b : a + m_ - b;
+  }
+
+  [[nodiscard]] std::uint64_t neg(std::uint64_t a) const noexcept {
+    assert(a < m_);
+    return a == 0 ? 0 : m_ - a;
+  }
+
+ private:
+  std::uint64_t m_;
+};
+
+/// The prime field GF(p).  Construction asserts primality.
+class GF : public Zm {
+ public:
+  explicit GF(std::uint64_t p) : Zm(p) { assert(is_prime(p)); }
+
+  [[nodiscard]] std::uint64_t mul(std::uint64_t a, std::uint64_t b) const noexcept {
+    assert(a < modulus() && b < modulus());
+    return mul_mod(a, b, modulus());
+  }
+
+  [[nodiscard]] std::uint64_t pow(std::uint64_t a, std::uint64_t e) const noexcept {
+    return pow_mod(a, e, modulus());
+  }
+
+  /// Multiplicative inverse via Fermat's little theorem; a must be non-zero.
+  [[nodiscard]] std::uint64_t inv(std::uint64_t a) const noexcept {
+    assert(a != 0 && a < modulus());
+    return pow(a, modulus() - 2);
+  }
+};
+
+}  // namespace agc::math

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file iterated_log.hpp
+/// log2 helpers and the iterated logarithm log* n, the canonical yardstick for
+/// Linial-style color reductions.
+
+namespace agc::math {
+
+/// floor(log2(n)) for n >= 1.
+[[nodiscard]] int log2_floor(std::uint64_t n) noexcept;
+
+/// ceil(log2(n)) for n >= 1.
+[[nodiscard]] int log2_ceil(std::uint64_t n) noexcept;
+
+/// log* n: the number of times log2 must be iterated, starting from n, until
+/// the value drops below 2.  log*(1) = 0, log*(2) = 1, log*(16) = 3,
+/// log*(65536) = 4.
+[[nodiscard]] int log_star(std::uint64_t n) noexcept;
+
+}  // namespace agc::math

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agc/math/gf.hpp"
+
+/// \file polynomial.hpp
+/// Polynomials over GF(q), the engine of Linial's color reduction.
+///
+/// Linial's algorithm maps a color c (an integer) to the polynomial g_c over
+/// GF(q) whose coefficients are the base-q digits of c.  Two distinct colors
+/// map to distinct polynomials of degree <= d, which agree on at most d
+/// points; if q > d * Delta, some evaluation point x gives a pair <x, g_c(x)>
+/// different from every neighbor's pair, shrinking the palette from q^{d+1}
+/// to q^2 in one round.
+
+namespace agc::math {
+
+/// A dense polynomial over GF(q), lowest-degree coefficient first.
+class Polynomial {
+ public:
+  Polynomial(GF field, std::vector<std::uint64_t> coeffs)
+      : field_(field), coeffs_(std::move(coeffs)) {
+    for (auto& c : coeffs_) c = field_.reduce(c);
+    trim();
+  }
+
+  /// The polynomial whose coefficient vector is the base-q representation of
+  /// `value` (so distinct values in [0, q^{max_degree+1}) yield distinct
+  /// polynomials of degree <= max_degree).
+  static Polynomial from_digits(GF field, std::uint64_t value, int max_degree);
+
+  [[nodiscard]] std::uint64_t eval(std::uint64_t x) const noexcept;
+
+  [[nodiscard]] int degree() const noexcept {
+    return static_cast<int>(coeffs_.size()) - 1;  // -1 for the zero polynomial
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& coefficients() const noexcept {
+    return coeffs_;
+  }
+
+  [[nodiscard]] const GF& field() const noexcept { return field_; }
+
+  friend bool operator==(const Polynomial& a, const Polynomial& b) noexcept {
+    return a.field_.modulus() == b.field_.modulus() && a.coeffs_ == b.coeffs_;
+  }
+
+ private:
+  void trim() {
+    while (!coeffs_.empty() && coeffs_.back() == 0) coeffs_.pop_back();
+  }
+
+  GF field_;
+  std::vector<std::uint64_t> coeffs_;
+};
+
+}  // namespace agc::math

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+/// \file primes.hpp
+/// Deterministic primality testing and prime search for 64-bit integers.
+///
+/// The additive-group algorithms (AG, 3AG, ArbAG) require a prime modulus q
+/// with 2*Delta < q = O(Delta); Linial's color reduction requires prime field
+/// sizes of order Delta * polylog.  All moduli in this library fit comfortably
+/// in 64 bits, so a deterministic Miller-Rabin witness set suffices.
+
+namespace agc::math {
+
+/// Deterministic Miller-Rabin primality test, valid for all n < 2^64.
+/// Uses the standard 12-witness set {2,3,5,7,11,13,17,19,23,29,31,37}.
+[[nodiscard]] bool is_prime(std::uint64_t n) noexcept;
+
+/// Smallest prime p with p >= n.  n must be <= 2^63 (always true here).
+[[nodiscard]] std::uint64_t next_prime(std::uint64_t n) noexcept;
+
+/// Smallest prime p with p > n.
+[[nodiscard]] std::uint64_t next_prime_above(std::uint64_t n) noexcept;
+
+/// A prime in the half-open interval [lo, hi), if one exists.
+/// By Bertrand's postulate, [n, 2n) always contains a prime for n >= 1.
+[[nodiscard]] std::optional<std::uint64_t> prime_in_range(std::uint64_t lo,
+                                                          std::uint64_t hi) noexcept;
+
+/// (a * b) mod m without overflow, for m < 2^63.
+[[nodiscard]] std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t m) noexcept;
+
+/// (base ^ exp) mod m without overflow, for m < 2^63.
+[[nodiscard]] std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp,
+                                    std::uint64_t m) noexcept;
+
+}  // namespace agc::math

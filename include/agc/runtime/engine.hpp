@@ -1,0 +1,152 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "agc/graph/graph.hpp"
+#include "agc/runtime/message.hpp"
+#include "agc/runtime/metrics.hpp"
+#include "agc/runtime/transport.hpp"
+
+/// \file engine.hpp
+/// The synchronous message-passing round engine.
+///
+/// Every algorithm in this library is a per-vertex state machine
+/// (VertexProgram).  Each round the engine (1) asks every vertex for its
+/// outgoing messages, (2) validates them against the communication model,
+/// (3) delivers them, and (4) lets every vertex update its state.  The engine
+/// also hosts the adversary interface for the fully-dynamic self-stabilizing
+/// setting: RAM corruption, edge churn and vertex churn between rounds.
+
+namespace agc::runtime {
+
+/// Hard-wired, fault-free per-vertex knowledge: the paper's ROM contents
+/// (ID, bounds on n and Delta).  `padded_id` lives in a possibly much larger
+/// ID space than [0, n) — Linial-style reductions depend only on the ID-space
+/// size, which experiments sweep independently of n.
+struct VertexEnv {
+  graph::Vertex id = 0;
+  std::uint64_t padded_id = 0;
+  std::size_t degree = 0;
+  std::uint64_t n_bound = 0;
+  std::uint64_t id_space = 0;  ///< padded_id < id_space
+  std::size_t delta_bound = 0;
+  /// Current neighbor IDs in port order.  Standard knowledge in LOCAL /
+  /// CONGEST (one round of ID exchange); SET-LOCAL programs must not use it.
+  std::span<const graph::Vertex> neighbors;
+  /// Global synchronous round number (a shared clock; used only for phase
+  /// parity in multi-phase protocols such as the line-graph simulation).
+  std::uint64_t round = 0;
+};
+
+class VertexProgram {
+ public:
+  virtual ~VertexProgram() = default;
+
+  /// Called once when the program is installed (and again if the adversary
+  /// resets the vertex).
+  virtual void on_start(const VertexEnv& /*env*/) {}
+
+  /// Produce this round's outgoing messages.
+  virtual void on_send(const VertexEnv& env, Outbox& out) = 0;
+
+  /// Consume this round's incoming messages and update state.
+  virtual void on_receive(const VertexEnv& env, const Inbox& in) = 0;
+
+  /// A halted program stops the run() loop once every vertex reports halted.
+  /// Self-stabilizing programs never halt.
+  [[nodiscard]] virtual bool halted(const VertexEnv& /*env*/) const { return false; }
+
+  /// Volatile state exposed to the adversary.  Everything returned here may
+  /// be overwritten with arbitrary values between rounds; a self-stabilizing
+  /// algorithm must recover.  Static algorithms keep their state private.
+  virtual std::span<std::uint64_t> ram() { return {}; }
+};
+
+using ProgramFactory =
+    std::function<std::unique_ptr<VertexProgram>(const VertexEnv&)>;
+
+struct EngineOptions {
+  /// Multiplier applied to n to form the ID space (padded_id = id, but the
+  /// *bound* the algorithms see is id_space).  Sweeping this exercises the
+  /// log* dependence without growing the graph.
+  std::uint64_t id_space_factor = 1;
+  /// Override for the Delta bound in ROM; 0 means "use the graph's max
+  /// degree".  Dynamic runs must set this to the maximum degree that can ever
+  /// occur.
+  std::size_t delta_bound = 0;
+  /// Override for the n bound in ROM; 0 means "use g.n()".
+  std::uint64_t n_bound = 0;
+};
+
+class Engine {
+ public:
+  Engine(graph::Graph g, Transport transport, EngineOptions opts = {});
+
+  /// Create a program for every vertex.  Must be called before stepping.
+  void install(const ProgramFactory& factory);
+
+  /// Run one synchronous round.
+  void step();
+
+  /// Run until every program reports halted(), or `max_rounds` elapse.
+  /// Returns the number of rounds executed.
+  std::size_t run(std::size_t max_rounds);
+
+  [[nodiscard]] bool all_halted() const;
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const Transport& transport() const noexcept { return transport_; }
+  [[nodiscard]] std::size_t rounds() const noexcept { return metrics_.rounds; }
+
+  [[nodiscard]] VertexProgram& program(graph::Vertex v) { return *programs_[v]; }
+  [[nodiscard]] const VertexProgram& program(graph::Vertex v) const {
+    return *programs_[v];
+  }
+  [[nodiscard]] const VertexEnv& env(graph::Vertex v) const { return envs_[v]; }
+
+  /// Observer invoked after every round (used by tests to assert invariants
+  /// such as "the coloring is proper after every round").
+  void set_observer(std::function<void(const Engine&, std::size_t round)> obs) {
+    observer_ = std::move(obs);
+  }
+
+  // --- Adversary interface (fully-dynamic self-stabilizing setting) -------
+
+  /// Overwrite one RAM word of v.  No-op if the program exposes no RAM.
+  void corrupt_ram(graph::Vertex v, std::size_t word, std::uint64_t value);
+
+  /// Read v's RAM (adversaries peek to craft worst-case faults).
+  [[nodiscard]] std::span<std::uint64_t> ram(graph::Vertex v) {
+    return programs_[v]->ram();
+  }
+
+  bool add_edge(graph::Vertex u, graph::Vertex v);
+  bool remove_edge(graph::Vertex u, graph::Vertex v);
+
+  /// Append a fresh vertex running a new program instance.
+  graph::Vertex add_vertex();
+
+  /// Crash/recover: drop all edges of v and restart its program.
+  void reset_vertex(graph::Vertex v);
+
+ private:
+  void refresh_env(graph::Vertex v);
+
+  graph::Graph graph_;
+  Transport transport_;
+  EngineOptions opts_;
+  ProgramFactory factory_;
+  std::vector<std::unique_ptr<VertexProgram>> programs_;
+  std::vector<VertexEnv> envs_;
+  Metrics metrics_;
+  /// Cumulative bits per directed edge, keyed (u << 32) | v.
+  std::unordered_map<std::uint64_t, std::uint64_t> edge_bits_;
+  std::function<void(const Engine&, std::size_t)> observer_;
+};
+
+}  // namespace agc::runtime

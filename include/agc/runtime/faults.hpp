@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+#include "agc/graph/generators.hpp"
+#include "agc/runtime/engine.hpp"
+
+/// \file faults.hpp
+/// The adversary of the fully-dynamic self-stabilizing setting (Section 4).
+///
+/// Between rounds the adversary may overwrite any RAM word of any vertex with
+/// any value, insert or delete edges, and crash/recover vertices — the only
+/// promises are that the bounds on n and Delta hold and that faults
+/// eventually stop.  Stabilization time is measured from the last adversary
+/// event.
+
+namespace agc::runtime {
+
+class Adversary {
+ public:
+  explicit Adversary(std::uint64_t seed) : rng_(seed) {}
+
+  /// Overwrite RAM word `word` of `count` random vertices with random values
+  /// in [0, value_range).
+  void corrupt_random(Engine& engine, std::size_t count, std::uint64_t value_range,
+                      std::size_t word = 0);
+
+  /// Worst-case color fault: copy a random neighbor's RAM word into the
+  /// vertex, guaranteeing a monochromatic edge.  `count` random vertices.
+  void clone_neighbor(Engine& engine, std::size_t count, std::size_t word = 0);
+
+  /// Insert up to `adds` random edges (respecting the degree cap `dmax`) and
+  /// delete up to `removes` random existing edges.
+  void churn_edges(Engine& engine, std::size_t adds, std::size_t removes,
+                   std::size_t dmax);
+
+  /// Crash/recover `count` random vertices: all incident edges drop and the
+  /// program restarts from scratch, then reconnect each with up to
+  /// `reconnect` random edges under the degree cap.
+  void churn_vertices(Engine& engine, std::size_t count, std::size_t reconnect,
+                      std::size_t dmax);
+
+  [[nodiscard]] std::size_t events() const noexcept { return events_; }
+
+ private:
+  graph::Rng rng_;
+  std::size_t events_ = 0;
+};
+
+}  // namespace agc::runtime

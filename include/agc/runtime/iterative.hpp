@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "agc/graph/checks.hpp"
+#include "agc/graph/graph.hpp"
+#include "agc/runtime/engine.hpp"
+
+/// \file iterative.hpp
+/// The locally-iterative harness.
+///
+/// A locally-iterative algorithm maintains a proper coloring phi_1, phi_2,...
+/// where each vertex computes its next color *only* from the colors in its
+/// 1-hop neighborhood (Szegedy-Vishwanathan [62]).  An IterativeRule is the
+/// per-round update function; crucially it receives the neighbors' colors as
+/// a sorted, sender-anonymous multiset, which makes every rule expressed this
+/// way directly executable in the SET-LOCAL model of [33] (Section 1.2.3 of
+/// the paper).
+///
+/// The runner executes the rule on the round engine (one broadcast per vertex
+/// per round), optionally asserting after every round that the coloring is
+/// still proper — the defining invariant of the class.
+
+namespace agc::runtime {
+
+using graph::Color;
+
+class IterativeRule {
+ public:
+  virtual ~IterativeRule() = default;
+
+  /// The next color of a vertex currently colored `own`, whose neighbors'
+  /// colors form the sorted multiset `neighbors`.  Must be a pure function.
+  [[nodiscard]] virtual Color step(Color own,
+                                   std::span<const Color> neighbors) const = 0;
+
+  /// True once a color has reached its final form (a fixed point of step()
+  /// for every possible neighborhood that can still occur).
+  [[nodiscard]] virtual bool is_final(Color c) const = 0;
+
+  /// Declared width of a color broadcast, for transport accounting.
+  [[nodiscard]] virtual std::uint32_t color_bits() const = 0;
+};
+
+struct IterativeOptions {
+  Model model = Model::SET_LOCAL;
+  std::uint32_t congest_bits = 64;
+  std::size_t max_rounds = 1'000'000;
+  /// Assert (via the result flag) that every intermediate coloring is proper.
+  bool check_proper_each_round = true;
+  /// Observer invoked after every round with the current coloring (round 0 =
+  /// the initial coloring, before any step).  Used by the trace recorder.
+  std::function<void(std::size_t round, std::span<const Color>)> on_round;
+};
+
+struct IterativeResult {
+  std::vector<Color> colors;
+  std::size_t rounds = 0;
+  bool converged = false;          ///< every color final within max_rounds
+  bool proper_each_round = true;   ///< locally-iterative invariant held
+  Metrics metrics;
+};
+
+/// Run `rule` from the initial coloring until every color is final.
+[[nodiscard]] IterativeResult run_locally_iterative(const graph::Graph& g,
+                                                    std::vector<Color> initial,
+                                                    const IterativeRule& rule,
+                                                    const IterativeOptions& opts = {});
+
+/// Convenience: run a sequence of rules back to back (a staged pipeline, as
+/// in Corollary 3.6), feeding each stage's final coloring to the next.
+/// Metrics and round counts accumulate into the returned result.
+[[nodiscard]] IterativeResult run_stages(
+    const graph::Graph& g, std::vector<Color> initial,
+    std::span<const IterativeRule* const> stages, const IterativeOptions& opts = {});
+
+}  // namespace agc::runtime

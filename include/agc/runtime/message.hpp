@@ -1,0 +1,103 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file message.hpp
+/// Messages and mailboxes for the synchronous round engine.
+///
+/// A message is a sequence of machine words, each with a *declared width in
+/// bits*.  The transport accounts the summed width per edge per round
+/// (CONGEST caps it at B bits, the Bit-Round model at 1 bit), so
+/// bit-complexity results such as Lemma 5.2 are measured properties of an
+/// execution, not assertions.  LOCAL-model algorithms (e.g. the line-graph
+/// simulations of Section 4.2) may send arbitrarily many words per edge.
+
+namespace agc::runtime {
+
+struct Word {
+  std::uint64_t value = 0;
+  std::uint32_t bits = 64;  ///< declared width; must satisfy value < 2^bits
+
+  friend bool operator==(const Word&, const Word&) = default;
+};
+
+/// Helper: the narrowest width that can carry `value`.
+[[nodiscard]] constexpr std::uint32_t width_of(std::uint64_t value) noexcept {
+  std::uint32_t w = 0;
+  while (value != 0) {
+    ++w;
+    value >>= 1;
+  }
+  return w == 0 ? 1 : w;
+}
+
+/// Outgoing messages of one vertex for one round.  Ports are indices into the
+/// vertex's (sorted) neighbor list.
+class Outbox {
+ public:
+  explicit Outbox(std::size_t ports) : slots_(ports) {}
+
+  /// Append one word to the message for the neighbor at `port`.
+  void send(std::size_t port, Word w) {
+    slots_[port].push_back(w);
+    broadcast_only_ = false;
+  }
+
+  /// Send the same single word to every neighbor.  This is the only
+  /// primitive available in the SET-LOCAL model.
+  void broadcast(Word w) {
+    for (auto& s : slots_) s.push_back(w);
+  }
+
+  [[nodiscard]] std::size_t ports() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::span<const Word> at(std::size_t port) const {
+    return slots_[port];
+  }
+  [[nodiscard]] bool used_broadcast_only() const noexcept { return broadcast_only_; }
+
+ private:
+  std::vector<std::vector<Word>> slots_;
+  bool broadcast_only_ = true;  ///< no directed send() has occurred
+};
+
+/// Incoming messages of one vertex for one round.
+class Inbox {
+ public:
+  Inbox() = default;
+  explicit Inbox(std::size_t ports) : slots_(ports) {}
+
+  void deliver(std::size_t port, Word w) { slots_[port].push_back(w); }
+
+  [[nodiscard]] std::size_t ports() const noexcept { return slots_.size(); }
+
+  /// Message from the neighbor at `port` (empty if it sent nothing).
+  [[nodiscard]] std::span<const Word> from_port(std::size_t port) const {
+    return slots_[port];
+  }
+
+  /// First word from `port`, or `fallback` if none arrived.
+  [[nodiscard]] std::uint64_t value_or(std::size_t port, std::uint64_t fallback) const {
+    return slots_[port].empty() ? fallback : slots_[port].front().value;
+  }
+
+  /// SET-LOCAL view: the sorted multiset of first-word values, stripped of
+  /// sender identity.  Algorithms that only use this view are directly
+  /// executable in the SET-LOCAL model (Section 1.2.3 of the paper).
+  [[nodiscard]] std::vector<std::uint64_t> multiset() const {
+    std::vector<std::uint64_t> vals;
+    vals.reserve(slots_.size());
+    for (const auto& s : slots_) {
+      if (!s.empty()) vals.push_back(s.front().value);
+    }
+    std::sort(vals.begin(), vals.end());
+    return vals;
+  }
+
+ private:
+  std::vector<std::vector<Word>> slots_;
+};
+
+}  // namespace agc::runtime

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+/// \file metrics.hpp
+/// Execution accounting: rounds, messages, and bits.  Bits are attributed per
+/// directed message using the sender's declared width, so "bits per edge"
+/// (Lemma 5.2) is `total_bits / (2 * m)` for a both-directions protocol.
+
+namespace agc::runtime {
+
+struct Metrics {
+  std::size_t rounds = 0;
+  std::uint64_t messages = 0;     ///< directed messages delivered
+  std::uint64_t total_bits = 0;   ///< sum of declared widths
+  std::uint64_t max_edge_bits = 0;  ///< max bits sent over a single directed edge, cumulative
+
+  void reset() { *this = Metrics{}; }
+
+  [[nodiscard]] double bits_per_message() const {
+    return messages == 0 ? 0.0 : static_cast<double>(total_bits) / messages;
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace agc::runtime

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "agc/graph/checks.hpp"
+#include "agc/graph/graph.hpp"
+#include "agc/runtime/iterative.hpp"
+
+/// \file trace.hpp
+/// Per-round convergence traces for locally-iterative runs: palette size,
+/// number of finalized vertices and monochromatic edges after every round.
+/// Plug a TraceRecorder into IterativeOptions::on_round and dump CSV, or
+/// print an ASCII convergence curve.
+
+namespace agc::runtime {
+
+struct RoundTracePoint {
+  std::size_t round = 0;
+  std::size_t distinct_colors = 0;
+  std::size_t finalized = 0;
+  std::size_t monochromatic_edges = 0;  ///< 0 whenever the coloring is proper
+};
+
+class TraceRecorder {
+ public:
+  /// `is_final` mirrors the rule's predicate (passed separately so the
+  /// recorder stays independent of the rule object's lifetime).
+  TraceRecorder(const graph::Graph& g, std::function<bool(Color)> is_final)
+      : g_(&g), is_final_(std::move(is_final)) {}
+
+  /// The observer to install into IterativeOptions::on_round.
+  [[nodiscard]] std::function<void(std::size_t, std::span<const Color>)> observer() {
+    return [this](std::size_t round, std::span<const Color> colors) {
+      record(round, colors);
+    };
+  }
+
+  void record(std::size_t round, std::span<const Color> colors);
+
+  [[nodiscard]] const std::vector<RoundTracePoint>& points() const noexcept {
+    return points_;
+  }
+
+  /// CSV: round,distinct_colors,finalized,monochromatic_edges
+  void write_csv(std::ostream& out) const;
+
+  /// A terminal-friendly curve of palette size per round.
+  void write_ascii(std::ostream& out, std::size_t width = 60) const;
+
+ private:
+  const graph::Graph* g_;
+  std::function<bool(Color)> is_final_;
+  std::size_t offset_ = 0;  ///< cumulative rounds across pipeline stages
+  std::vector<RoundTracePoint> points_;
+};
+
+}  // namespace agc::runtime

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "agc/runtime/message.hpp"
+
+/// \file transport.hpp
+/// Communication models.  The transport validates every outgoing message
+/// against the model's bandwidth and structure rules and feeds the metrics.
+///
+///   LOCAL      — unbounded messages (model of [49], [3], [22]).
+///   CONGEST(B) — at most B bits per edge per round (B = O(log n) classically).
+///   BIT        — 1 bit per edge per round (Bit-Round model of [43]).
+///   SET_LOCAL  — broadcast-only, sender-anonymous; receivers see only the
+///                multiset of neighbor values (weak LOCAL model of [33]).
+
+namespace agc::runtime {
+
+enum class Model : std::uint8_t { LOCAL, CONGEST, BIT, SET_LOCAL };
+
+[[nodiscard]] std::string to_string(Model m);
+
+class Transport {
+ public:
+  /// `congest_bits` is only meaningful for Model::CONGEST.
+  explicit Transport(Model model, std::uint32_t congest_bits = 64)
+      : model_(model), congest_bits_(congest_bits) {}
+
+  [[nodiscard]] Model model() const noexcept { return model_; }
+  [[nodiscard]] std::uint32_t congest_bits() const noexcept { return congest_bits_; }
+
+  /// Maximum declared message width admitted on one edge in one round, or
+  /// 0 for unbounded.
+  [[nodiscard]] std::uint32_t width_cap() const noexcept;
+
+  /// Throws std::logic_error if the outbox violates the model (over-wide
+  /// message, or a directed send in SET_LOCAL).
+  void validate(const Outbox& out) const;
+
+ private:
+  Model model_;
+  std::uint32_t congest_bits_;
+};
+
+}  // namespace agc::runtime

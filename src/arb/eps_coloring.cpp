@@ -1,0 +1,114 @@
+#include "agc/arb/eps_coloring.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "agc/graph/checks.hpp"
+
+namespace agc::arb {
+
+namespace {
+
+constexpr Color kUncolored = ~Color{0};
+
+/// Sequential class phases with proposal/commit conflict resolution.
+ClasswiseResult classwise_color(const graph::Graph& g, const ArbdefectiveResult& arb,
+                                std::uint64_t palette_size) {
+  ClasswiseResult result;
+  result.arb_rounds = arb.rounds;
+  result.rounds = arb.rounds;
+  const std::size_t n = g.n();
+
+  auto key = [&](graph::Vertex v) {
+    return std::pair{arb.finalize_round[v], v};
+  };
+
+  std::vector<Color> final_color(n, kUncolored);
+  std::vector<Color> proposal(n, kUncolored);
+
+  // Smallest palette color unused by finalized neighbors; exists because the
+  // palette exceeds the degree bound.
+  auto propose = [&](graph::Vertex v) {
+    std::vector<bool> used(palette_size, false);
+    for (graph::Vertex u : g.neighbors(v)) {
+      if (final_color[u] != kUncolored) used[final_color[u]] = true;
+    }
+    for (Color c = 0; c < palette_size; ++c) {
+      if (!used[c]) return c;
+    }
+    return kUncolored;  // palette exhausted: cannot happen if sized correctly
+  };
+
+  const std::size_t phase_cap = 4 * n + 64;
+  for (Color cls = 0; cls < arb.num_classes; ++cls) {
+    std::vector<graph::Vertex> active;
+    for (graph::Vertex v = 0; v < n; ++v) {
+      if (arb.classes[v] == cls) active.push_back(v);
+    }
+    std::size_t phase_rounds = 0;
+    while (!active.empty() && phase_rounds < phase_cap) {
+      ++phase_rounds;
+      for (graph::Vertex v : active) proposal[v] = propose(v);
+      // Commit unless an out-neighbor (earlier freezer) proposed the same.
+      // Decisions are taken against the round-start snapshot and applied
+      // together afterwards (all vertices act simultaneously).
+      std::vector<graph::Vertex> committing;
+      std::vector<graph::Vertex> still;
+      for (graph::Vertex v : active) {
+        bool deferred = proposal[v] == kUncolored;
+        for (graph::Vertex u : g.neighbors(v)) {
+          if (deferred) break;
+          if (arb.classes[u] == cls && final_color[u] == kUncolored &&
+              proposal[u] == proposal[v] && key(u) < key(v)) {
+            deferred = true;
+          }
+        }
+        (deferred ? still : committing).push_back(v);
+      }
+      for (graph::Vertex v : committing) final_color[v] = proposal[v];
+      active = std::move(still);
+    }
+    result.rounds += phase_rounds;
+    if (!active.empty()) {
+      result.colors = std::move(final_color);
+      return result;  // converged stays false
+    }
+  }
+
+  result.colors = std::move(final_color);
+  result.converged = arb.converged;
+  result.palette = graph::palette_size(result.colors);
+  result.proper = graph::is_proper_coloring(g, result.colors);
+  return result;
+}
+
+}  // namespace
+
+ClasswiseResult eps_delta_coloring(const graph::Graph& g, double eps,
+                                   std::uint64_t id_space) {
+  const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
+  if (id_space == 0) id_space = std::max<std::uint64_t>(g.n(), 2);
+
+  const auto p = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(std::sqrt(static_cast<double>(delta)))));
+  const auto arb = arbdefective_color(g, p, id_space);
+
+  const auto palette = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(std::floor((1.0 + eps) * delta)) + 1, delta + 1);
+  return classwise_color(g, arb, palette);
+}
+
+ClasswiseResult sublinear_delta_plus_one(const graph::Graph& g,
+                                         std::uint64_t id_space) {
+  const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
+  if (id_space == 0) id_space = std::max<std::uint64_t>(g.n(), 2);
+
+  const double log_d = std::max(1.0, std::log2(static_cast<double>(delta)));
+  const auto beta = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(std::sqrt(static_cast<double>(delta) / log_d))));
+  const auto arb = arbdefective_color(g, beta, id_space);
+  return classwise_color(g, arb, delta + 1);
+}
+
+}  // namespace agc::arb

@@ -1,0 +1,86 @@
+#include "agc/coloring/cole_vishkin.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "agc/runtime/message.hpp"
+
+namespace agc::coloring::cv {
+
+std::uint64_t step(std::uint64_t own, std::uint64_t pred) noexcept {
+  assert(own != pred);
+  const int i = std::countr_zero(own ^ pred);
+  return 2 * static_cast<std::uint64_t>(i) + ((own >> i) & 1ULL);
+}
+
+int rounds_to_six(std::uint64_t id_space) noexcept {
+  // Width recurrence: labels < 2^w map to labels <= 2*(w-1)+1 < 2^{w'}.
+  std::uint64_t bound = id_space;
+  int rounds = 0;
+  while (bound > 6) {
+    const std::uint32_t w = runtime::width_of(bound - 1);
+    bound = 2 * (w - 1) + 2;  // labels in [0, 2w-1] -> bound 2w
+    ++rounds;
+    if (rounds > 64) break;  // unreachable; defensive
+  }
+  return rounds;
+}
+
+std::uint64_t reduce_step(std::uint64_t own, bool has_pred, std::uint64_t pred,
+                          bool has_succ, std::uint64_t succ,
+                          std::uint64_t c) noexcept {
+  if (own != c) return own;
+  for (std::uint64_t cand = 0; cand < 3; ++cand) {
+    if ((has_pred && pred == cand) || (has_succ && succ == cand)) continue;
+    return cand;
+  }
+  assert(false);  // two chain neighbors cannot block three candidates
+  return own;
+}
+
+ChainColoring three_color_chains(std::span<const std::size_t> succ,
+                                 std::span<const std::uint64_t> ids,
+                                 std::uint64_t id_space) {
+  const std::size_t n = ids.size();
+  assert(succ.size() == n);
+
+  // Derive predecessor links.
+  std::vector<std::size_t> pred(n, npos);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (succ[i] != npos) {
+      assert(pred[succ[i]] == npos);
+      pred[succ[i]] = i;
+    }
+  }
+
+  ChainColoring out;
+  out.colors.assign(ids.begin(), ids.end());
+
+  // Phase 1: deterministic coin tossing until all labels < 6.
+  const int t = rounds_to_six(id_space);
+  std::vector<std::uint64_t> next(n);
+  for (int round = 0; round < t; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p =
+          pred[i] == npos ? virtual_pred(out.colors[i]) : out.colors[pred[i]];
+      next[i] = step(out.colors[i], p);
+    }
+    out.colors.swap(next);
+    ++out.rounds;
+  }
+
+  // Phase 2: shift down 5, 4, 3.
+  for (std::uint64_t c = 5; c >= 3; --c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool hp = pred[i] != npos;
+      const bool hs = succ[i] != npos;
+      next[i] = reduce_step(out.colors[i], hp, hp ? out.colors[pred[i]] : 0, hs,
+                            hs ? out.colors[succ[i]] : 0, c);
+    }
+    out.colors.swap(next);
+    ++out.rounds;
+  }
+  return out;
+}
+
+}  // namespace agc::coloring::cv

@@ -1,0 +1,59 @@
+#include "agc/coloring/linial_stream.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "agc/math/primes.hpp"
+
+namespace agc::coloring {
+
+std::uint64_t eval_digit_poly(std::uint64_t q, std::uint64_t value, std::uint32_t d,
+                              std::uint64_t e) noexcept {
+  // Horner highest-digit-first: digit_i = (value / q^i) % q.  Working set:
+  // acc, power, i — O(1) words.
+  std::uint64_t acc = 0;
+  for (std::uint32_t i = d + 1; i-- > 0;) {
+    std::uint64_t power = value;
+    for (std::uint32_t k = 0; k < i; ++k) power /= q;
+    const std::uint64_t digit = power % q;
+    acc = (math::mul_mod(acc, e, q) + digit) % q;
+  }
+  return acc;
+}
+
+Color mod_linial_step_stream(const LinialSchedule& sched, std::size_t j,
+                             std::uint64_t x,
+                             std::span<const std::uint64_t> same_interval_xs) {
+  assert(j >= 1 && j <= sched.stages());
+  const LinialStage& st = sched.stage(sched.stages() - j);
+  const std::uint64_t next_off = sched.offset(j - 1);
+  for (std::uint64_t e = 0; e < st.q; ++e) {
+    const std::uint64_t own_val = eval_digit_poly(st.q, x, st.d, e);
+    bool ok = true;
+    for (std::uint64_t nx : same_interval_xs) {  // re-read the buffers
+      if (eval_digit_poly(st.q, nx, st.d, e) == own_val) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return next_off + e * st.q + own_val;
+  }
+  throw std::logic_error("mod_linial_step_stream: no admissible point");
+}
+
+Color StreamLinialRule::step(Color own, std::span<const Color> neighbors) const {
+  const std::size_t j = sched_.interval_of(own);
+  if (j == 0) return own;
+  const std::uint64_t off = sched_.offset(j);
+  // The harness materializes the inbox for us; a hardware implementation
+  // would walk the per-neighbor buffers in place.  Only interval filtering
+  // happens here; the evaluation loop above is the O(1)-memory part.
+  std::vector<std::uint64_t> xs;
+  for (Color nc : neighbors) {
+    if (sched_.interval_of(nc) == j) xs.push_back(nc - off);
+  }
+  return mod_linial_step_stream(sched_, j, own - off, xs);
+}
+
+}  // namespace agc::coloring

@@ -1,0 +1,13 @@
+#include "agc/coloring/palette.hpp"
+
+#include <numeric>
+
+namespace agc::coloring {
+
+std::vector<Color> identity_coloring(std::size_t n) {
+  std::vector<Color> colors(n);
+  std::iota(colors.begin(), colors.end(), Color{0});
+  return colors;
+}
+
+}  // namespace agc::coloring

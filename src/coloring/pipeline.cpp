@@ -1,0 +1,147 @@
+#include "agc/coloring/pipeline.hpp"
+
+#include <algorithm>
+
+#include "agc/coloring/ag.hpp"
+#include "agc/coloring/ag3.hpp"
+#include "agc/coloring/kuhn_wattenhofer.hpp"
+#include "agc/coloring/linial.hpp"
+#include "agc/coloring/reduction.hpp"
+
+namespace agc::coloring {
+
+namespace {
+
+void fold_metrics(runtime::Metrics& into, const runtime::Metrics& from) {
+  into.rounds += from.rounds;
+  into.messages += from.messages;
+  into.total_bits += from.total_bits;
+  into.max_edge_bits += from.max_edge_bits;
+}
+
+/// Shared preamble: identity coloring -> Linial fixed point.
+runtime::IterativeResult run_linial(const graph::Graph& g,
+                                    const PipelineOptions& opts, std::size_t delta) {
+  const std::uint64_t id_space =
+      std::max<std::uint64_t>(g.n(), 1) * std::max<std::uint64_t>(1, opts.id_space_factor);
+  return linial_color(g, identity_coloring(g.n()), id_space, delta, opts.iter);
+}
+
+void finish(PipelineReport& rep, const graph::Graph& g) {
+  rep.total_rounds = rep.rounds_linial + rep.rounds_core + rep.rounds_finish;
+  rep.palette = graph::palette_size(rep.colors);
+  rep.proper = graph::is_proper_coloring(g, rep.colors);
+}
+
+}  // namespace
+
+PipelineReport color_delta_plus_one(const graph::Graph& g,
+                                    const PipelineOptions& opts) {
+  const std::size_t delta = g.max_degree();
+  PipelineReport rep;
+
+  auto lin = run_linial(g, opts, delta);
+  rep.rounds_linial = lin.rounds;
+  fold_metrics(rep.metrics, lin.metrics);
+  rep.proper_each_round = lin.proper_each_round;
+
+  auto ag = additive_group_color(g, std::move(lin.colors), delta, opts.iter);
+  rep.rounds_core = ag.rounds;
+  fold_metrics(rep.metrics, ag.metrics);
+  rep.proper_each_round = rep.proper_each_round && ag.proper_each_round;
+
+  auto red = reduce_colors(g, std::move(ag.colors), delta + 1, opts.iter);
+  rep.rounds_finish = red.rounds;
+  fold_metrics(rep.metrics, red.metrics);
+  rep.proper_each_round = rep.proper_each_round && red.proper_each_round;
+
+  rep.converged = lin.converged && ag.converged && red.converged;
+  rep.colors = std::move(red.colors);
+  finish(rep, g);
+  return rep;
+}
+
+PipelineReport color_delta_plus_one_exact(const graph::Graph& g,
+                                          const PipelineOptions& opts) {
+  const std::size_t delta = g.max_degree();
+  PipelineReport rep;
+
+  auto lin = run_linial(g, opts, delta);
+  rep.rounds_linial = lin.rounds;
+  fold_metrics(rep.metrics, lin.metrics);
+  rep.proper_each_round = lin.proper_each_round;
+
+  auto mixed = exact_delta_plus_one(g, std::move(lin.colors), delta, opts.iter);
+  rep.rounds_core = mixed.rounds;
+  fold_metrics(rep.metrics, mixed.metrics);
+  rep.proper_each_round = rep.proper_each_round && mixed.proper_each_round;
+
+  rep.converged = lin.converged && mixed.converged;
+  rep.colors = std::move(mixed.colors);
+  finish(rep, g);
+  return rep;
+}
+
+PipelineReport color_kuhn_wattenhofer(const graph::Graph& g,
+                                      const PipelineOptions& opts) {
+  const std::size_t delta = g.max_degree();
+  PipelineReport rep;
+
+  auto lin = run_linial(g, opts, delta);
+  rep.rounds_linial = lin.rounds;
+  fold_metrics(rep.metrics, lin.metrics);
+  rep.proper_each_round = lin.proper_each_round;
+
+  auto kw = kuhn_wattenhofer_reduce(g, std::move(lin.colors), delta, opts.iter);
+  rep.rounds_core = kw.rounds;
+  fold_metrics(rep.metrics, kw.metrics);
+  rep.proper_each_round = rep.proper_each_round && kw.proper_each_round;
+
+  rep.converged = lin.converged && kw.converged;
+  rep.colors = std::move(kw.colors);
+  finish(rep, g);
+  return rep;
+}
+
+PipelineReport color_linial_greedy(const graph::Graph& g,
+                                   const PipelineOptions& opts) {
+  const std::size_t delta = g.max_degree();
+  PipelineReport rep;
+
+  auto lin = run_linial(g, opts, delta);
+  rep.rounds_linial = lin.rounds;
+  fold_metrics(rep.metrics, lin.metrics);
+  rep.proper_each_round = lin.proper_each_round;
+
+  auto red = reduce_colors(g, std::move(lin.colors), delta + 1, opts.iter);
+  rep.rounds_core = red.rounds;
+  fold_metrics(rep.metrics, red.metrics);
+  rep.proper_each_round = rep.proper_each_round && red.proper_each_round;
+
+  rep.converged = lin.converged && red.converged;
+  rep.colors = std::move(red.colors);
+  finish(rep, g);
+  return rep;
+}
+
+PipelineReport color_o_delta(const graph::Graph& g, const PipelineOptions& opts) {
+  const std::size_t delta = g.max_degree();
+  PipelineReport rep;
+
+  auto lin = run_linial(g, opts, delta);
+  rep.rounds_linial = lin.rounds;
+  fold_metrics(rep.metrics, lin.metrics);
+  rep.proper_each_round = lin.proper_each_round;
+
+  auto ag = additive_group_color(g, std::move(lin.colors), delta, opts.iter);
+  rep.rounds_core = ag.rounds;
+  fold_metrics(rep.metrics, ag.metrics);
+  rep.proper_each_round = rep.proper_each_round && ag.proper_each_round;
+
+  rep.converged = lin.converged && ag.converged;
+  rep.colors = std::move(ag.colors);
+  finish(rep, g);
+  return rep;
+}
+
+}  // namespace agc::coloring

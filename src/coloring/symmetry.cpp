@@ -1,0 +1,111 @@
+#include "agc/coloring/symmetry.hpp"
+
+#include <memory>
+
+#include "agc/graph/checks.hpp"
+#include "agc/runtime/engine.hpp"
+
+namespace agc::coloring {
+
+namespace {
+
+enum Status : std::uint64_t { kUndecided = 0, kIn = 1, kOut = 2 };
+
+/// Broadcasts (color, status); decides once every smaller-colored neighbor
+/// has, joining iff no neighbor is in.
+class MisWaveProgram final : public runtime::VertexProgram {
+ public:
+  MisWaveProgram(Color color, std::uint32_t color_bits)
+      : color_(color), bits_(color_bits) {}
+
+  void on_send(const runtime::VertexEnv&, runtime::Outbox& out) override {
+    out.broadcast(runtime::Word{(color_ << 2) | status_, bits_ + 2});
+  }
+
+  void on_receive(const runtime::VertexEnv&, const runtime::Inbox& in) override {
+    if (status_ != kUndecided) return;
+    bool any_in = false;
+    bool smaller_undecided = false;
+    for (const auto packed : in.multiset()) {
+      const Color c = packed >> 2;
+      const auto s = static_cast<Status>(packed & 3);
+      if (s == kIn) any_in = true;
+      if (s == kUndecided && c < color_) smaller_undecided = true;
+    }
+    if (any_in) {
+      status_ = kOut;
+    } else if (!smaller_undecided) {
+      status_ = kIn;
+    }
+  }
+
+  [[nodiscard]] bool halted(const runtime::VertexEnv&) const override {
+    return status_ != kUndecided;
+  }
+
+  [[nodiscard]] bool in_mis() const noexcept { return status_ == kIn; }
+
+ private:
+  Color color_;
+  std::uint32_t bits_;
+  std::uint64_t status_ = kUndecided;
+};
+
+}  // namespace
+
+MisReport mis_from_coloring(const graph::Graph& g, const std::vector<Color>& colors,
+                            const runtime::IterativeOptions& opts) {
+  MisReport rep;
+  const Color palette = graph::max_color(colors) + 1;
+  const std::uint32_t bits = runtime::width_of(palette - 1);
+
+  // The MIS wave sends directed status words, which SET-LOCAL cannot; the
+  // broadcast here is sender-anonymous, so SET_LOCAL remains allowed.
+  runtime::Engine engine(g, runtime::Transport(opts.model, opts.congest_bits));
+  engine.install([&](const runtime::VertexEnv& env) {
+    return std::make_unique<MisWaveProgram>(colors[env.id], bits);
+  });
+  rep.rounds_mis = engine.run(static_cast<std::size_t>(palette) + 2);
+
+  rep.in_mis.resize(g.n());
+  for (graph::Vertex v = 0; v < g.n(); ++v) {
+    rep.in_mis[v] = dynamic_cast<const MisWaveProgram&>(engine.program(v)).in_mis();
+  }
+  rep.valid = engine.all_halted() && graph::is_mis(g, rep.in_mis);
+  return rep;
+}
+
+MisReport maximal_independent_set(const graph::Graph& g,
+                                  const PipelineOptions& opts) {
+  const auto colored = color_delta_plus_one(g, opts);
+  auto rep = mis_from_coloring(g, colored.colors, opts.iter);
+  rep.rounds_coloring = colored.total_rounds;
+  rep.valid = rep.valid && colored.converged && colored.proper;
+  return rep;
+}
+
+MatchingReport maximal_matching(const graph::Graph& g, const PipelineOptions& opts) {
+  MatchingReport rep;
+  const auto lg = graph::line_graph(g);
+  const auto mis = maximal_independent_set(lg.graph, opts);
+  rep.rounds = mis.rounds_coloring + mis.rounds_mis;
+  for (graph::Vertex i = 0; i < lg.graph.n(); ++i) {
+    if (mis.in_mis[i]) rep.matching.push_back(lg.edge_of[i]);
+  }
+  rep.valid = mis.valid && graph::is_maximal_matching(g, rep.matching);
+  return rep;
+}
+
+LineEdgeColoringReport edge_coloring_via_line_graph(const graph::Graph& g,
+                                                    const PipelineOptions& opts) {
+  LineEdgeColoringReport rep;
+  const auto lg = graph::line_graph(g);
+  const auto colored = color_delta_plus_one(lg.graph, opts);
+  rep.rounds = colored.total_rounds;
+  rep.colors = colored.colors;
+  rep.palette = colored.palette;
+  rep.proper = colored.converged && graph::is_proper_edge_coloring(g, rep.colors);
+  return rep;
+}
+
+}  // namespace agc::coloring

@@ -1,0 +1,74 @@
+#include "agc/edge/defective_edge.hpp"
+
+#include <cassert>
+
+#include "agc/coloring/cole_vishkin.hpp"
+
+namespace agc::edge {
+
+std::vector<EdgePair> kuhn_defective_pairs(const graph::Graph& g) {
+  const auto edges = g.edges();
+  std::vector<EdgePair> pairs(edges.size());
+  // Outgoing rank at the tail / incoming rank at the head.  Edges are
+  // canonical (first < second), so first is always the tail.
+  std::vector<std::uint32_t> out_rank(g.n(), 0);
+  std::vector<std::uint32_t> in_rank(g.n(), 0);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    pairs[e].i = ++out_rank[edges[e].first];
+    pairs[e].j = ++in_rank[edges[e].second];
+  }
+  return pairs;
+}
+
+std::vector<std::size_t> class_successors(const graph::Graph& g,
+                                          const std::vector<EdgePair>& pairs) {
+  const auto edges = g.edges();
+  assert(pairs.size() == edges.size());
+  // succ[e] = the edge leaving head(e) whose tail color is i(e) and head
+  // color is j(e).  The tail assigns distinct outgoing colors, so there is
+  // at most one candidate per (vertex, i); filter by j.
+  std::vector<std::size_t> succ(edges.size(), coloring::cv::npos);
+  // index (tail, i) -> edge
+  std::vector<std::vector<std::size_t>> by_tail(g.n());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    by_tail[edges[e].first].push_back(e);
+  }
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const graph::Vertex head = edges[e].second;
+    for (std::size_t cand : by_tail[head]) {
+      if (pairs[cand].i == pairs[e].i && pairs[cand].j == pairs[e].j) {
+        succ[e] = cand;
+        break;
+      }
+    }
+  }
+  return succ;
+}
+
+std::vector<Color> defect_free_edge_coloring(const graph::Graph& g,
+                                             std::size_t* rounds_out) {
+  const auto edges = g.edges();
+  const auto pairs = kuhn_defective_pairs(g);
+  const auto succ = class_successors(g, pairs);
+
+  // Cole-Vishkin over the class chains, with edge IDs as initial labels.
+  const std::uint64_t id_space = static_cast<std::uint64_t>(g.n()) * g.n();
+  std::vector<std::uint64_t> ids(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    ids[e] = static_cast<std::uint64_t>(edges[e].first) * g.n() + edges[e].second;
+  }
+  const auto cv = coloring::cv::three_color_chains(succ, ids, id_space);
+
+  const std::uint64_t delta = g.max_degree();
+  std::vector<Color> colors(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    colors[e] =
+        ((pairs[e].i - 1) * delta + (pairs[e].j - 1)) * 3 + cv.colors[e];
+  }
+  if (rounds_out != nullptr) {
+    *rounds_out = cv.rounds + 2;  // +1 ID exchange, +1 (i,j) exchange
+  }
+  return colors;
+}
+
+}  // namespace agc::edge

@@ -1,0 +1,312 @@
+#include "agc/graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace agc::graph {
+
+// ---------------------------------------------------------------------------
+// Rng: splitmix64 seeding + xorshift128+ stream.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  s_[0] = splitmix64(seed);
+  s_[1] = splitmix64(seed);
+  if (s_[0] == 0 && s_[1] == 0) s_[1] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  std::uint64_t x = s_[0];
+  const std::uint64_t y = s_[1];
+  s_[0] = y;
+  x ^= x << 23;
+  s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s_[1] + y;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % bound);
+  std::uint64_t r;
+  do {
+    r = next();
+  } while (r >= limit);
+  return r % bound;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+// ---------------------------------------------------------------------------
+// Structured generators.
+// ---------------------------------------------------------------------------
+
+Graph path(std::size_t n) {
+  Graph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle(std::size_t n) {
+  assert(n >= 3);
+  Graph g = path(n);
+  g.add_edge(static_cast<Vertex>(n - 1), 0);
+  return g;
+}
+
+Graph star(std::size_t n) {
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  Graph g(a + b);
+  for (Vertex u = 0; u < a; ++u) {
+    for (Vertex v = 0; v < b; ++v) g.add_edge(u, static_cast<Vertex>(a + v));
+  }
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph binary_tree(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (2 * i + 1 < n) g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(2 * i + 1));
+    if (2 * i + 2 < n) g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(2 * i + 2));
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Random generators.
+// ---------------------------------------------------------------------------
+
+Graph random_gnp(std::size_t n, double p, std::uint64_t seed) {
+  Graph g(n);
+  if (p <= 0.0 || n < 2) return g;
+  Rng rng(seed);
+  if (p >= 1.0) return complete(n);
+  // Geometric skipping (Batagelj-Brandes) for sparse p.
+  const double logq = std::log(1.0 - p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (v < nn) {
+    const double r = rng.uniform();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log(1.0 - r) / logq));
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn) g.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(w));
+  }
+  return g;
+}
+
+Graph random_regular(std::size_t n, std::size_t d, std::uint64_t seed) {
+  assert(d < n);
+  assert((n * d) % 2 == 0);
+  Rng rng(seed);
+  Graph g(n);
+  // Pairing model: d stubs per vertex, shuffle, pair consecutive stubs.
+  // Bad pairs (loops / duplicates) are retried a bounded number of times.
+  std::vector<Vertex> stubs;
+  stubs.reserve(n * d);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::size_t k = 0; k < d; ++k) stubs.push_back(v);
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    // Fisher-Yates shuffle.
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      std::swap(stubs[i - 1], stubs[rng.below(i)]);
+    }
+    Graph trial(n);
+    bool clean = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      if (!trial.add_edge(stubs[i], stubs[i + 1])) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) return trial;
+  }
+  // Repair fallback: greedy matching of remaining stubs, skipping bad pairs.
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.below(i)]);
+  }
+  std::vector<Vertex> pending;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (!g.add_edge(stubs[i], stubs[i + 1])) {
+      pending.push_back(stubs[i]);
+      pending.push_back(stubs[i + 1]);
+    }
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    for (std::size_t j = i + 1; j < pending.size(); ++j) {
+      if (g.add_edge(pending[i], pending[j])) {
+        std::swap(pending[j], pending[i + 1]);
+        ++i;
+        break;
+      }
+    }
+  }
+  return g;
+}
+
+Graph random_bounded_degree(std::size_t n, std::size_t dmax, std::size_t target_m,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  if (n < 2) return g;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target_m * 20 + 100;
+  while (g.m() < target_m && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<Vertex>(rng.below(n));
+    const auto v = static_cast<Vertex>(rng.below(n));
+    if (u == v) continue;
+    if (g.degree(u) >= dmax || g.degree(v) >= dmax) continue;
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph random_geometric(std::size_t n, double radius, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  Graph g(n);
+  const double r2 = radius * radius;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      const double dx = pts[u].first - pts[v].first;
+      const double dy = pts[u].second - pts[v].second;
+      if (dx * dx + dy * dy <= r2) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attach, std::uint64_t seed) {
+  assert(attach >= 1 && n > attach);
+  Rng rng(seed);
+  Graph g(n);
+  // Seed clique on attach+1 vertices.
+  for (Vertex u = 0; u <= attach; ++u) {
+    for (Vertex v = u + 1; v <= attach; ++v) g.add_edge(u, v);
+  }
+  // Degree-proportional sampling via the repeated-endpoints list.
+  std::vector<Vertex> endpoints;
+  for (const auto& [u, v] : g.edges()) {
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+  }
+  for (Vertex v = static_cast<Vertex>(attach + 1); v < n; ++v) {
+    std::size_t added = 0;
+    std::size_t guard = 0;
+    while (added < attach && guard < 50 * attach + 100) {
+      ++guard;
+      const Vertex target = endpoints[rng.below(endpoints.size())];
+      if (g.add_edge(v, target)) {
+        endpoints.push_back(v);
+        endpoints.push_back(target);
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+Graph hypercube(std::size_t d) {
+  const std::size_t n = std::size_t{1} << d;
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t bit = 0; bit < d; ++bit) {
+      const std::size_t u = v ^ (std::size_t{1} << bit);
+      if (u > v) g.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(u));
+    }
+  }
+  return g;
+}
+
+Graph complete_multipartite(std::size_t k, std::size_t part) {
+  Graph g(k * part);
+  for (std::size_t pa = 0; pa < k; ++pa) {
+    for (std::size_t pb = pa + 1; pb < k; ++pb) {
+      for (std::size_t i = 0; i < part; ++i) {
+        for (std::size_t j = 0; j < part; ++j) {
+          g.add_edge(static_cast<Vertex>(pa * part + i),
+                     static_cast<Vertex>(pb * part + j));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph caterpillar(std::size_t spine, std::size_t legs) {
+  Graph g(spine * (legs + 1));
+  for (std::size_t i = 0; i + 1 < spine; ++i) {
+    g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(i + 1));
+  }
+  for (std::size_t i = 0; i < spine; ++i) {
+    for (std::size_t l = 0; l < legs; ++l) {
+      g.add_edge(static_cast<Vertex>(i),
+                 static_cast<Vertex>(spine + i * legs + l));
+    }
+  }
+  return g;
+}
+
+Graph cycle_blowup(std::size_t len, std::size_t blow) {
+  assert(len >= 3);
+  Graph g(len * blow);
+  for (std::size_t pos = 0; pos < len; ++pos) {
+    const std::size_t next = (pos + 1) % len;
+    for (std::size_t i = 0; i < blow; ++i) {
+      for (std::size_t j = 0; j < blow; ++j) {
+        g.add_edge(static_cast<Vertex>(pos * blow + i),
+                   static_cast<Vertex>(next * blow + j));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace agc::graph

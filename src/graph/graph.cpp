@@ -1,0 +1,77 @@
+#include "agc/graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace agc::graph {
+
+Graph Graph::from_edges(std::size_t n, std::span<const Edge> edges) {
+  Graph g(n);
+  for (const auto& [u, v] : edges) {
+    assert(u < n && v < n && u != v);
+    [[maybe_unused]] bool inserted = g.add_edge(u, v);
+    assert(inserted);
+  }
+  return g;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
+  if (u >= n() || v >= n() || u == v) return false;
+  const auto& a = adj_[u];
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+bool Graph::add_edge(Vertex u, Vertex v) {
+  if (u == v || u >= n() || v >= n()) return false;
+  auto& au = adj_[u];
+  auto it = std::lower_bound(au.begin(), au.end(), v);
+  if (it != au.end() && *it == v) return false;
+  au.insert(it, v);
+  auto& av = adj_[v];
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+  ++m_;
+  return true;
+}
+
+bool Graph::remove_edge(Vertex u, Vertex v) {
+  if (u >= n() || v >= n()) return false;
+  auto& au = adj_[u];
+  auto it = std::lower_bound(au.begin(), au.end(), v);
+  if (it == au.end() || *it != v) return false;
+  au.erase(it);
+  auto& av = adj_[v];
+  av.erase(std::lower_bound(av.begin(), av.end(), u));
+  --m_;
+  return true;
+}
+
+Vertex Graph::add_vertex() {
+  adj_.emplace_back();
+  return static_cast<Vertex>(adj_.size() - 1);
+}
+
+void Graph::isolate(Vertex v) {
+  assert(v < n());
+  // Copy: remove_edge mutates adj_[v].
+  std::vector<Vertex> nbrs = adj_[v];
+  for (Vertex u : nbrs) remove_edge(v, u);
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t d = 0;
+  for (const auto& a : adj_) d = std::max(d, a.size());
+  return d;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(m_);
+  for (Vertex u = 0; u < n(); ++u) {
+    for (Vertex v : adj_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace agc::graph

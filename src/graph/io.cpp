@@ -1,0 +1,111 @@
+#include "agc/graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace agc::graph {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("edge list, line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+  bool has_header = false;
+  std::size_t n = 0;
+  std::vector<Edge> edges;
+  std::size_t implicit_max = 0;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok) || tok == "c" || tok[0] == '#') continue;
+
+    if (tok == "p") {
+      std::string kind;
+      long long nn = -1, mm = -1;
+      if (!(ls >> kind >> nn >> mm) || kind != "edge" || nn < 0) {
+        fail(lineno, "bad problem header (expected: p edge <n> <m>)");
+      }
+      n = static_cast<std::size_t>(nn);
+      has_header = true;
+      continue;
+    }
+
+    long long u, v;
+    if (tok == "e") {
+      if (!(ls >> u >> v)) fail(lineno, "bad edge line");
+      if (u < 1 || v < 1) fail(lineno, "DIMACS endpoints are 1-based");
+      --u;
+      --v;
+    } else {
+      // Bare "<u> <v>" 0-based.
+      std::istringstream both(line);
+      if (!(both >> u >> v)) fail(lineno, "unrecognized line");
+      if (u < 0 || v < 0) fail(lineno, "negative vertex id");
+    }
+    if (u == v) fail(lineno, "self-loop");
+    if (has_header &&
+        (static_cast<std::size_t>(u) >= n || static_cast<std::size_t>(v) >= n)) {
+      fail(lineno, "endpoint exceeds declared vertex count");
+    }
+    implicit_max = std::max({implicit_max, static_cast<std::size_t>(u),
+                             static_cast<std::size_t>(v)});
+    edges.push_back(make_edge(static_cast<Vertex>(u), static_cast<Vertex>(v)));
+  }
+
+  if (!has_header) n = edges.empty() ? 0 : implicit_max + 1;
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);  // duplicates tolerated
+  return g;
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "c written by agcolor\n";
+  out << "p edge " << g.n() << " " << g.m() << "\n";
+  for (const auto& [u, v] : g.edges()) {
+    out << "e " << (u + 1) << " " << (v + 1) << "\n";
+  }
+}
+
+void write_dot(std::ostream& out, const Graph& g, std::span<const Color> colors) {
+  out << "graph agcolor {\n  node [shape=circle];\n";
+  for (Vertex v = 0; v < g.n(); ++v) {
+    out << "  v" << v;
+    if (v < colors.size()) {
+      out << " [label=\"" << v << ":" << colors[v] << "\", colorscheme=set312, "
+          << "style=filled, fillcolor=" << (colors[v] % 12 + 1) << "]";
+    }
+    out << ";\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    out << "  v" << u << " -- v" << v << ";\n";
+  }
+  out << "}\n";
+}
+
+void write_coloring_csv(std::ostream& out, std::span<const Color> colors) {
+  out << "vertex,color\n";
+  for (std::size_t v = 0; v < colors.size(); ++v) {
+    out << v << "," << colors[v] << "\n";
+  }
+}
+
+}  // namespace agc::graph

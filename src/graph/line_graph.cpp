@@ -1,0 +1,36 @@
+#include "agc/graph/line_graph.hpp"
+
+#include <algorithm>
+
+namespace agc::graph {
+
+Vertex LineGraph::vertex_of(Edge e) const {
+  auto it = std::lower_bound(edge_of.begin(), edge_of.end(), e);
+  if (it != edge_of.end() && *it == e) {
+    return static_cast<Vertex>(it - edge_of.begin());
+  }
+  return static_cast<Vertex>(graph.n());
+}
+
+LineGraph line_graph(const Graph& g) {
+  LineGraph lg;
+  lg.edge_of = g.edges();  // already lexicographically sorted
+  lg.graph = Graph(lg.edge_of.size());
+
+  // Group L(G) vertices by shared G-endpoint and connect within each group.
+  std::vector<std::vector<Vertex>> incident(g.n());
+  for (Vertex i = 0; i < lg.edge_of.size(); ++i) {
+    incident[lg.edge_of[i].first].push_back(i);
+    incident[lg.edge_of[i].second].push_back(i);
+  }
+  for (const auto& group : incident) {
+    for (std::size_t a = 0; a < group.size(); ++a) {
+      for (std::size_t b = a + 1; b < group.size(); ++b) {
+        lg.graph.add_edge(group[a], group[b]);
+      }
+    }
+  }
+  return lg;
+}
+
+}  // namespace agc::graph

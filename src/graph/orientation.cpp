@@ -1,0 +1,80 @@
+#include "agc/graph/orientation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace agc::graph {
+
+std::vector<std::size_t> Orientation::out_degrees(std::size_t n) const {
+  std::vector<std::size_t> out(n, 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Vertex tail = toward_second[i] ? edges[i].first : edges[i].second;
+    ++out[tail];
+  }
+  return out;
+}
+
+std::size_t Orientation::max_out_degree(std::size_t n) const {
+  const auto out = out_degrees(n);
+  return out.empty() ? 0 : *std::max_element(out.begin(), out.end());
+}
+
+Orientation orient_by_id(const Graph& g) {
+  Orientation o;
+  o.edges = g.edges();
+  o.toward_second.assign(o.edges.size(), true);  // first < second always
+  return o;
+}
+
+Orientation orient_by_order(const Graph& g, std::span<const std::size_t> order) {
+  assert(order.size() == g.n());
+  Orientation o;
+  o.edges = g.edges();
+  o.toward_second.resize(o.edges.size());
+  for (std::size_t i = 0; i < o.edges.size(); ++i) {
+    const auto& [u, v] = o.edges[i];
+    // Point toward the endpoint removed later (larger rank): when a vertex is
+    // removed by smallest-last, at most `degeneracy` neighbors remain, so the
+    // tail (earlier-removed endpoint) has out-degree <= degeneracy.
+    o.toward_second[i] = order[u] < order[v];
+  }
+  return o;
+}
+
+std::vector<std::size_t> smallest_last_order(const Graph& g) {
+  const std::size_t n = g.n();
+  std::vector<std::size_t> rank(n, 0);
+  if (n == 0) return rank;
+  std::vector<std::size_t> deg(n);
+  std::size_t maxdeg = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    maxdeg = std::max(maxdeg, deg[v]);
+  }
+  std::vector<std::vector<Vertex>> buckets(maxdeg + 1);
+  for (Vertex v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+  std::size_t cursor = 0;
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    if (cursor > 0) --cursor;
+    while (cursor <= maxdeg) {
+      auto& b = buckets[cursor];
+      while (!b.empty() && (removed[b.back()] || deg[b.back()] != cursor)) b.pop_back();
+      if (!b.empty()) break;
+      ++cursor;
+    }
+    const Vertex v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    removed[v] = true;
+    rank[v] = iter;  // removal index: 0 = removed first
+    for (Vertex u : g.neighbors(v)) {
+      if (!removed[u]) {
+        --deg[u];
+        buckets[deg[u]].push_back(u);
+      }
+    }
+  }
+  return rank;
+}
+
+}  // namespace agc::graph

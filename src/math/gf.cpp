@@ -1,0 +1,9 @@
+// gf.hpp is header-only; this translation unit pins the vtable-free types and
+// provides a home for future out-of-line helpers.
+#include "agc/math/gf.hpp"
+
+namespace agc::math {
+
+static_assert(sizeof(Zm) == sizeof(std::uint64_t));
+
+}  // namespace agc::math

@@ -1,0 +1,29 @@
+#include "agc/math/iterated_log.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace agc::math {
+
+int log2_floor(std::uint64_t n) noexcept {
+  assert(n >= 1);
+  return 63 - std::countl_zero(n);
+}
+
+int log2_ceil(std::uint64_t n) noexcept {
+  assert(n >= 1);
+  return n == 1 ? 0 : 64 - std::countl_zero(n - 1);
+}
+
+int log_star(std::uint64_t n) noexcept {
+  int count = 0;
+  double x = static_cast<double>(n);
+  while (x >= 2.0) {
+    x = std::log2(x);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace agc::math

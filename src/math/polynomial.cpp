@@ -1,0 +1,26 @@
+#include "agc/math/polynomial.hpp"
+
+namespace agc::math {
+
+Polynomial Polynomial::from_digits(GF field, std::uint64_t value, int max_degree) {
+  std::vector<std::uint64_t> digits;
+  digits.reserve(static_cast<std::size_t>(max_degree) + 1);
+  const std::uint64_t q = field.modulus();
+  for (int i = 0; i <= max_degree; ++i) {
+    digits.push_back(value % q);
+    value /= q;
+  }
+  return Polynomial(field, std::move(digits));
+}
+
+std::uint64_t Polynomial::eval(std::uint64_t x) const noexcept {
+  // Horner's rule, highest coefficient first.
+  std::uint64_t acc = 0;
+  x = field_.reduce(x);
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
+    acc = field_.add(field_.mul(acc, x), *it);
+  }
+  return acc;
+}
+
+}  // namespace agc::math

@@ -1,0 +1,76 @@
+#include "agc/math/primes.hpp"
+
+#include <array>
+
+namespace agc::math {
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept {
+  return static_cast<std::uint64_t>((static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) noexcept {
+  if (m == 1) return 0;
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mul_mod(result, base, m);
+    base = mul_mod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+/// One Miller-Rabin round: returns true if `a` witnesses that n is composite.
+bool witnesses_composite(std::uint64_t n, std::uint64_t a, std::uint64_t d,
+                         int r) noexcept {
+  std::uint64_t x = pow_mod(a, d, n);
+  if (x == 1 || x == n - 1) return false;
+  for (int i = 0; i < r - 1; ++i) {
+    x = mul_mod(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  // n - 1 = d * 2^r with d odd.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64 (Sorenson & Webster).
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (witnesses_composite(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) noexcept {
+  if (n <= 2) return 2;
+  if ((n & 1) == 0) ++n;
+  while (!is_prime(n)) n += 2;
+  return n;
+}
+
+std::uint64_t next_prime_above(std::uint64_t n) noexcept { return next_prime(n + 1); }
+
+std::optional<std::uint64_t> prime_in_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  if (lo >= hi) return std::nullopt;
+  std::uint64_t p = next_prime(lo);
+  if (p < hi) return p;
+  return std::nullopt;
+}
+
+}  // namespace agc::math

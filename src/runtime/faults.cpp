@@ -1,0 +1,86 @@
+#include "agc/runtime/faults.hpp"
+
+namespace agc::runtime {
+
+void Adversary::corrupt_random(Engine& engine, std::size_t count,
+                               std::uint64_t value_range, std::size_t word) {
+  const std::size_t n = engine.graph().n();
+  if (n == 0 || value_range == 0) return;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto v = static_cast<graph::Vertex>(rng_.below(n));
+    engine.corrupt_ram(v, word, rng_.below(value_range));
+    ++events_;
+  }
+}
+
+void Adversary::clone_neighbor(Engine& engine, std::size_t count, std::size_t word) {
+  const std::size_t n = engine.graph().n();
+  if (n == 0) return;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto v = static_cast<graph::Vertex>(rng_.below(n));
+    const auto nbrs = engine.graph().neighbors(v);
+    if (nbrs.empty()) continue;
+    const graph::Vertex u = nbrs[rng_.below(nbrs.size())];
+    const auto u_ram = engine.ram(u);
+    if (word < u_ram.size()) {
+      engine.corrupt_ram(v, word, u_ram[word]);
+      ++events_;
+    }
+  }
+}
+
+void Adversary::churn_edges(Engine& engine, std::size_t adds, std::size_t removes,
+                            std::size_t dmax) {
+  const std::size_t n = engine.graph().n();
+  if (n < 2) return;
+  std::size_t guard = 0;
+  std::size_t done = 0;
+  while (done < adds && guard < 20 * adds + 50) {
+    ++guard;
+    const auto u = static_cast<graph::Vertex>(rng_.below(n));
+    const auto v = static_cast<graph::Vertex>(rng_.below(n));
+    if (u == v) continue;
+    if (engine.graph().degree(u) >= dmax || engine.graph().degree(v) >= dmax) continue;
+    if (engine.add_edge(u, v)) {
+      ++done;
+      ++events_;
+    }
+  }
+  guard = 0;
+  done = 0;
+  while (done < removes && guard < 20 * removes + 50 && engine.graph().m() > 0) {
+    ++guard;
+    const auto u = static_cast<graph::Vertex>(rng_.below(n));
+    const auto nbrs = engine.graph().neighbors(u);
+    if (nbrs.empty()) continue;
+    const graph::Vertex v = nbrs[rng_.below(nbrs.size())];
+    if (engine.remove_edge(u, v)) {
+      ++done;
+      ++events_;
+    }
+  }
+}
+
+void Adversary::churn_vertices(Engine& engine, std::size_t count, std::size_t reconnect,
+                               std::size_t dmax) {
+  const std::size_t n = engine.graph().n();
+  if (n == 0) return;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto v = static_cast<graph::Vertex>(rng_.below(n));
+    engine.reset_vertex(v);
+    ++events_;
+    std::size_t guard = 0;
+    std::size_t added = 0;
+    while (added < reconnect && guard < 20 * reconnect + 50) {
+      ++guard;
+      const auto u = static_cast<graph::Vertex>(rng_.below(n));
+      if (u == v) continue;
+      if (engine.graph().degree(u) >= dmax || engine.graph().degree(v) >= dmax) {
+        continue;
+      }
+      if (engine.add_edge(u, v)) ++added;
+    }
+  }
+}
+
+}  // namespace agc::runtime

@@ -1,0 +1,95 @@
+#include "agc/runtime/iterative.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace agc::runtime {
+
+namespace {
+
+/// Adapter: broadcasts the vertex's color, applies the rule on receipt.
+/// Colors are mirrored into a shared snapshot vector so the runner can check
+/// properness and convergence without touching program internals.
+class RuleProgram final : public VertexProgram {
+ public:
+  RuleProgram(const IterativeRule& rule, Color initial, Color* mirror)
+      : rule_(rule), color_(initial), mirror_(mirror) {
+    *mirror_ = color_;
+  }
+
+  void on_send(const VertexEnv&, Outbox& out) override {
+    out.broadcast(Word{color_, rule_.color_bits()});
+  }
+
+  void on_receive(const VertexEnv&, const Inbox& in) override {
+    const auto nbrs = in.multiset();
+    color_ = rule_.step(color_, nbrs);
+    *mirror_ = color_;
+  }
+
+ private:
+  const IterativeRule& rule_;
+  Color color_;
+  Color* mirror_;
+};
+
+}  // namespace
+
+IterativeResult run_locally_iterative(const graph::Graph& g,
+                                      std::vector<Color> initial,
+                                      const IterativeRule& rule,
+                                      const IterativeOptions& opts) {
+  IterativeResult result;
+  result.colors = std::move(initial);
+
+  Engine engine(g, Transport(opts.model, opts.congest_bits));
+  std::vector<Color>& mirror = result.colors;
+  engine.install([&](const VertexEnv& env) {
+    return std::make_unique<RuleProgram>(rule, mirror[env.id], &mirror[env.id]);
+  });
+
+  if (opts.check_proper_each_round) {
+    result.proper_each_round = graph::is_proper_coloring(g, mirror);
+  }
+  if (opts.on_round) opts.on_round(0, mirror);
+
+  auto all_final = [&] {
+    return std::all_of(mirror.begin(), mirror.end(),
+                       [&](Color c) { return rule.is_final(c); });
+  };
+
+  while (!all_final() && result.rounds < opts.max_rounds) {
+    engine.step();
+    ++result.rounds;
+    if (opts.check_proper_each_round && result.proper_each_round) {
+      result.proper_each_round = graph::is_proper_coloring(g, mirror);
+    }
+    if (opts.on_round) opts.on_round(result.rounds, mirror);
+  }
+  result.converged = all_final();
+  result.metrics = engine.metrics();
+  return result;
+}
+
+IterativeResult run_stages(const graph::Graph& g, std::vector<Color> initial,
+                           std::span<const IterativeRule* const> stages,
+                           const IterativeOptions& opts) {
+  IterativeResult total;
+  total.colors = std::move(initial);
+  total.converged = true;
+  for (const IterativeRule* stage : stages) {
+    IterativeResult r = run_locally_iterative(g, std::move(total.colors), *stage, opts);
+    total.colors = std::move(r.colors);
+    total.rounds += r.rounds;
+    total.converged = total.converged && r.converged;
+    total.proper_each_round = total.proper_each_round && r.proper_each_round;
+    total.metrics.rounds += r.metrics.rounds;
+    total.metrics.messages += r.metrics.messages;
+    total.metrics.total_bits += r.metrics.total_bits;
+    total.metrics.max_edge_bits += r.metrics.max_edge_bits;
+    if (!total.converged) break;
+  }
+  return total;
+}
+
+}  // namespace agc::runtime

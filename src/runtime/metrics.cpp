@@ -1,0 +1,14 @@
+#include "agc/runtime/metrics.hpp"
+
+#include <sstream>
+
+namespace agc::runtime {
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " messages=" << messages << " bits=" << total_bits
+     << " max_edge_bits=" << max_edge_bits;
+  return os.str();
+}
+
+}  // namespace agc::runtime

@@ -1,0 +1,53 @@
+#include "agc/runtime/trace.hpp"
+
+#include <algorithm>
+
+namespace agc::runtime {
+
+void TraceRecorder::record(std::size_t round, std::span<const Color> colors) {
+  // Staged pipelines restart their round counter per stage; splice stages
+  // into one cumulative trace (the stage's round-0 snapshot duplicates the
+  // previous stage's final state and is dropped).
+  if (round == 0 && !points_.empty()) {
+    offset_ = points_.back().round;
+    return;
+  }
+  RoundTracePoint pt;
+  pt.round = round + offset_;
+  pt.distinct_colors = graph::palette_size(colors);
+  for (Color c : colors) {
+    if (is_final_ && is_final_(c)) ++pt.finalized;
+  }
+  for (graph::Vertex u = 0; u < g_->n(); ++u) {
+    for (graph::Vertex v : g_->neighbors(u)) {
+      if (v > u && colors[u] == colors[v]) ++pt.monochromatic_edges;
+    }
+  }
+  points_.push_back(pt);
+}
+
+void TraceRecorder::write_csv(std::ostream& out) const {
+  out << "round,distinct_colors,finalized,monochromatic_edges\n";
+  for (const auto& p : points_) {
+    out << p.round << "," << p.distinct_colors << "," << p.finalized << ","
+        << p.monochromatic_edges << "\n";
+  }
+}
+
+void TraceRecorder::write_ascii(std::ostream& out, std::size_t width) const {
+  if (points_.empty()) return;
+  std::size_t max_colors = 1;
+  for (const auto& p : points_) max_colors = std::max(max_colors, p.distinct_colors);
+  out << "round | distinct colors (# = " << (max_colors + width - 1) / width
+      << ")\n";
+  for (const auto& p : points_) {
+    const std::size_t bar =
+        (p.distinct_colors * width + max_colors - 1) / max_colors;
+    out << (p.round < 10 ? "    " : p.round < 100 ? "   " : "  ") << p.round
+        << " | ";
+    for (std::size_t i = 0; i < bar; ++i) out << '#';
+    out << " " << p.distinct_colors << "\n";
+  }
+}
+
+}  // namespace agc::runtime

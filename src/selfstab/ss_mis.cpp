@@ -1,0 +1,98 @@
+#include "agc/selfstab/ss_mis.hpp"
+
+#include <algorithm>
+
+#include "agc/graph/checks.hpp"
+
+namespace agc::selfstab {
+
+MisStatus mis_update(std::uint64_t my_color, MisStatus my_status,
+                     std::span<const std::uint64_t> neighbors) {
+  bool nbr_mis = false;
+  for (std::uint64_t w : neighbors) {
+    if (packed_status(w) == kMis) {
+      nbr_mis = true;
+      break;
+    }
+  }
+
+  // Transitions into Undecided take effect this round but do NOT permit a
+  // same-round join: a joining decision must be based on neighbors that can
+  // see us as Undecided, otherwise two NOTMIS neighbors could flip to
+  // Undecided and both join on stale information, oscillating forever.
+  if (my_status == kMis) return nbr_mis ? kUndecided : kMis;
+  if (my_status == kNotMis) return nbr_mis ? kNotMis : kUndecided;
+
+  // Undecided.
+  if (nbr_mis) return kNotMis;
+  // Join iff strictly locally minimal among undecided neighbors (ties —
+  // possible only transiently, while the coloring is still improper — block
+  // the join and resolve next round).
+  for (std::uint64_t w : neighbors) {
+    if (packed_status(w) == kUndecided && packed_color(w) <= my_color) {
+      return kUndecided;
+    }
+  }
+  return kMis;
+}
+
+void SsMisProgram::on_receive(const runtime::VertexEnv& env,
+                              const runtime::Inbox& in) {
+  const auto packed = in.multiset();
+  // Color step first (on the color components, which arrive sorted because
+  // the status occupies the low bits).
+  std::vector<std::uint64_t> colors;
+  colors.reserve(packed.size());
+  for (std::uint64_t w : packed) colors.push_back(packed_color(w));
+  ram_[0] = cfg_.step(env.padded_id, ram_[0], colors);
+  ram_[1] = mis_update(ram_[0], packed_status(ram_[1] & 3), packed);
+}
+
+runtime::ProgramFactory ss_mis_factory(const SsConfig& cfg) {
+  return [&cfg](const runtime::VertexEnv&) {
+    return std::make_unique<SsMisProgram>(cfg);
+  };
+}
+
+std::vector<bool> current_mis(runtime::Engine& engine) {
+  std::vector<bool> flags(engine.graph().n(), false);
+  for (graph::Vertex v = 0; v < flags.size(); ++v) {
+    const auto ram = engine.ram(v);
+    flags[v] = ram.size() >= 2 && packed_status(ram[1] & 3) == kMis;
+  }
+  return flags;
+}
+
+MisStabilizationReport run_until_mis_stable(runtime::Engine& engine,
+                                            const SsConfig& cfg,
+                                            std::size_t max_rounds,
+                                            std::size_t confirm_rounds) {
+  MisStabilizationReport rep;
+  auto stable = [&] {
+    const auto colors = current_colors(engine);
+    if (!std::all_of(colors.begin(), colors.end(),
+                     [&](Color c) { return cfg.is_final(c); })) {
+      return false;
+    }
+    if (!graph::is_proper_coloring(engine.graph(), colors)) return false;
+    return graph::is_mis(engine.graph(), current_mis(engine));
+  };
+
+  while (rep.rounds_to_stable < max_rounds && !stable()) {
+    engine.step();
+    ++rep.rounds_to_stable;
+  }
+  if (!stable()) return rep;
+
+  const auto colors = current_colors(engine);
+  const auto flags = current_mis(engine);
+  for (std::size_t i = 0; i < confirm_rounds; ++i) {
+    engine.step();
+    if (current_colors(engine) != colors || current_mis(engine) != flags) return rep;
+  }
+  rep.stabilized = true;
+  rep.in_mis = flags;
+  return rep;
+}
+
+}  // namespace agc::selfstab

@@ -1,0 +1,71 @@
+// Arbdefective suite (Section 6): defective Linial seed, Arbdefective-Color,
+// and the classwise (1+eps)Delta / (Delta+1) constructions of Theorem 6.4.
+#include <gtest/gtest.h>
+
+#include "agc/arb/defective.hpp"
+#include "agc/arb/arbag.hpp"
+#include "agc/arb/eps_coloring.hpp"
+#include "agc/graph/generators.hpp"
+
+namespace {
+
+using namespace agc;
+
+TEST(Defective, DefectStaysWithinBudget) {
+  const auto g = graph::random_regular(200, 16, 2);
+  for (std::size_t p : {2u, 4u, 8u}) {
+    const auto res = arb::defective_color(g, p, g.n());
+    EXPECT_TRUE(res.converged) << "p=" << p << " defect=" << res.max_defect;
+    EXPECT_LE(res.max_defect, p);
+    EXPECT_LE(res.rounds, 12u);  // log* + O(1)
+  }
+}
+
+TEST(Defective, PaletteShrinksWithBudget) {
+  const auto g = graph::random_regular(300, 32, 4);
+  const auto strict = arb::defective_color(g, 1, g.n());
+  const auto loose = arb::defective_color(g, 8, g.n());
+  EXPECT_LE(loose.palette_bound, strict.palette_bound);
+}
+
+TEST(ArbAg, ClassesAndArbdefect) {
+  const auto g = graph::random_regular(200, 25, 7);
+  const std::size_t p = 5;  // sqrt(Delta)
+  const auto arb = arb::arbdefective_color(g, p, g.n());
+  EXPECT_TRUE(arb.converged);
+  // O(Delta/p) classes.
+  EXPECT_LE(arb.num_classes, 8 * (g.max_degree() / p + 1));
+  // Lemma 6.2 witness: out-degree over monochromatic edges <= p + seed defect.
+  EXPECT_LE(arb::measured_arbdefect(g, arb), p + arb.seed_defect);
+}
+
+TEST(ArbAg, RoundsScaleWithDeltaOverP) {
+  const auto g = graph::random_regular(300, 36, 9);
+  const auto fine = arb::arbdefective_color(g, 2, g.n());
+  const auto coarse = arb::arbdefective_color(g, 12, g.n());
+  ASSERT_TRUE(fine.converged && coarse.converged);
+  // The worst-case window is 2*ceil(Delta/p)+1 rounds; measured rounds never
+  // exceed it (plus the log* seed).
+  EXPECT_GT(fine.window, coarse.window);
+  EXPECT_LE(fine.rounds, fine.window + fine.seed_rounds);
+  EXPECT_LE(coarse.rounds, coarse.window + coarse.seed_rounds);
+}
+
+TEST(EpsColoring, ProperWithinPalette) {
+  const auto g = graph::random_gnp(250, 0.08, 3);
+  const auto res = arb::eps_delta_coloring(g, 0.5);
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(res.proper);
+  EXPECT_LE(graph::max_color(res.colors),
+            static_cast<std::uint64_t>(1.5 * g.max_degree()) + 1);
+}
+
+TEST(EpsColoring, SublinearDeltaPlusOne) {
+  const auto g = graph::random_regular(300, 24, 5);
+  const auto res = arb::sublinear_delta_plus_one(g);
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(res.proper);
+  EXPECT_LE(graph::max_color(res.colors), g.max_degree());
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Edge-coloring extras: schedule arithmetic, model equivalence, shrinking
+// Cole-Vishkin widths, and graph-family sweeps of the distributed pipeline.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "agc/edge/defective_edge.hpp"
+#include "agc/edge/edge_coloring.hpp"
+#include "agc/graph/generators.hpp"
+
+namespace {
+
+using namespace agc;
+
+TEST(EdgeSchedule, WidthsShrinkThroughCv) {
+  const edge::EdgeSchedule sched(1 << 20, 16, true);
+  std::uint32_t last_cv_width = 0;
+  bool in_cv = false;
+  for (std::size_t lr = 0; lr < sched.logical_rounds(); ++lr) {
+    const auto& s = sched.slot(lr);
+    if (s.phase == edge::EdgeSchedule::Phase::Cv) {
+      if (in_cv) {
+        EXPECT_LE(s.width, last_cv_width);
+      }
+      last_cv_width = s.width;
+      in_cv = true;
+    }
+    if (s.phase == edge::EdgeSchedule::Phase::Ag) {
+      EXPECT_EQ(s.width, 1u);
+    }
+    if (s.phase == edge::EdgeSchedule::Phase::Exact) {
+      EXPECT_EQ(s.width, 2u);
+    }
+  }
+}
+
+TEST(EdgeSchedule, TotalBitsIsDeltaPlusLogN) {
+  // Fixing Delta, total bits grow ~ c*log n; fixing n, ~ c*Delta.
+  const auto b1 = edge::EdgeSchedule(1ULL << 10, 8, true).total_bits();
+  const auto b2 = edge::EdgeSchedule(1ULL << 40, 8, true).total_bits();
+  EXPECT_GT(b2, b1);
+  EXPECT_LT(b2 - b1, 400u);  // only the log n share grows
+
+  const auto d1 = edge::EdgeSchedule(1ULL << 10, 8, true).total_bits();
+  const auto d2 = edge::EdgeSchedule(1ULL << 10, 64, true).total_bits();
+  EXPECT_GT(d2, 4 * d1 / 2);  // the Delta share dominates
+}
+
+TEST(EdgeColoringModels, CongestAndBitRoundAgreeOnValidity) {
+  const auto g = graph::random_regular(80, 6, 55);
+  const auto congest = edge::color_edges_distributed(g);
+  edge::EdgeColoringOptions bopts;
+  bopts.bit_round = true;
+  const auto bit = edge::color_edges_distributed(g, bopts);
+  EXPECT_TRUE(congest.proper && bit.proper);
+  EXPECT_LT(graph::max_color(congest.colors), 2 * g.max_degree() - 1);
+  EXPECT_LT(graph::max_color(bit.colors), 2 * g.max_degree() - 1);
+  // Bit-Round pays more rounds but never more than the serialized schedule.
+  EXPECT_GT(bit.rounds, congest.rounds);
+}
+
+class EdgeFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeFamilies, DistributedPipelineSweep) {
+  graph::Graph g;
+  switch (GetParam()) {
+    case 0: g = graph::grid(6, 9); break;
+    case 1: g = graph::complete(10); break;
+    case 2: g = graph::complete_bipartite(6, 8); break;
+    case 3: g = graph::binary_tree(63); break;
+    case 4: g = graph::random_geometric(90, 0.16, 5); break;
+    case 5: g = graph::barabasi_albert(90, 2, 6); break;
+    default: g = graph::cycle(31); break;
+  }
+  const auto res = edge::color_edges_distributed(g);
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.proper);
+  const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
+  EXPECT_LE(graph::max_color(res.colors),
+            std::max<std::uint64_t>(2 * delta - 1, 1) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, EdgeFamilies, ::testing::Range(0, 7));
+
+TEST(EdgeColoringMetrics, BitsPerEdgeTracksDeltaPlusLogN) {
+  const auto small = edge::color_edges_distributed(graph::random_regular(60, 4, 1));
+  const auto big = edge::color_edges_distributed(graph::random_regular(60, 12, 1));
+  EXPECT_GT(big.avg_bits_per_edge, small.avg_bits_per_edge);
+  // Even at Delta=12 the whole protocol costs only a few hundred bits/edge.
+  EXPECT_LT(big.avg_bits_per_edge, 1500.0);
+}
+
+TEST(DefectiveEdgeExtra, EveryClassIsAtMostTwoPerVertex) {
+  const auto g = graph::barabasi_albert(120, 4, 17);
+  const auto pairs = edge::kuhn_defective_pairs(g);
+  const auto edges = g.edges();
+  // Count class multiplicity per vertex.
+  std::map<std::pair<graph::Vertex, std::uint64_t>, int> count;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const std::uint64_t cls = pairs[e].i * 100000ULL + pairs[e].j;
+    ++count[{edges[e].first, cls}];
+    ++count[{edges[e].second, cls}];
+  }
+  for (const auto& [k, c] : count) EXPECT_LE(c, 2);
+}
+
+TEST(DefectiveEdgeExtra, HostAndDistributedPalettesAgreeInShape) {
+  const auto g = graph::random_regular(70, 6, 77);
+  const auto host = edge::defect_free_edge_coloring(g);
+  EXPECT_TRUE(graph::is_proper_edge_coloring(g, host));
+  const auto delta = g.max_degree();
+  EXPECT_LT(graph::max_color(host), 3 * delta * delta);
+}
+
+}  // namespace

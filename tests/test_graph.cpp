@@ -1,0 +1,215 @@
+// Graph substrate: structure, generators, line graph, validity oracles,
+// orientation/degeneracy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "agc/graph/checks.hpp"
+#include "agc/graph/generators.hpp"
+#include "agc/graph/line_graph.hpp"
+#include "agc/graph/orientation.hpp"
+
+namespace {
+
+using namespace agc::graph;
+
+TEST(GraphCore, EdgeInsertRemove) {
+  Graph g(5);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.add_edge(1, 2));
+  EXPECT_FALSE(g.add_edge(0, 1));  // duplicate
+  EXPECT_FALSE(g.add_edge(2, 1));  // duplicate, reversed
+  EXPECT_FALSE(g.add_edge(3, 3));  // self-loop
+  EXPECT_EQ(g.m(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.m(), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphCore, NeighborsSorted) {
+  Graph g(6);
+  g.add_edge(3, 5);
+  g.add_edge(3, 0);
+  g.add_edge(3, 4);
+  g.add_edge(3, 1);
+  const auto nbrs = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(GraphCore, IsolateAndAddVertex) {
+  Graph g = star(6);
+  EXPECT_EQ(g.degree(0), 5u);
+  g.isolate(0);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.m(), 0u);
+  const Vertex v = g.add_vertex();
+  EXPECT_EQ(v, 6u);
+  EXPECT_EQ(g.n(), 7u);
+}
+
+TEST(GraphCore, EdgesSortedCanonical) {
+  const auto g = random_gnp(50, 0.2, 3);
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), g.m());
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(Generators, StructuredShapes) {
+  EXPECT_EQ(path(10).m(), 9u);
+  EXPECT_EQ(cycle(10).m(), 10u);
+  EXPECT_EQ(cycle(10).max_degree(), 2u);
+  EXPECT_EQ(star(10).max_degree(), 9u);
+  EXPECT_EQ(complete(8).m(), 28u);
+  EXPECT_EQ(complete_bipartite(3, 4).m(), 12u);
+  EXPECT_EQ(grid(4, 5).m(), 4 * 4 + 3 * 5u);
+  EXPECT_EQ(binary_tree(15).max_degree(), 3u);
+}
+
+TEST(Generators, Deterministic) {
+  const auto a = random_gnp(100, 0.1, 77);
+  const auto b = random_gnp(100, 0.1, 77);
+  EXPECT_EQ(a.edges(), b.edges());
+  const auto c = random_gnp(100, 0.1, 78);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Generators, RegularDegrees) {
+  for (std::size_t d : {2u, 3u, 8u, 15u}) {
+    const std::size_t n = (d % 2 == 1) ? 100 : 101;  // n*d must be even
+    const auto g = random_regular(n % 2 == 0 || d % 2 == 0 ? n : n + 1, d, d);
+    std::size_t exact = 0;
+    for (Vertex v = 0; v < g.n(); ++v) {
+      EXPECT_LE(g.degree(v), d);
+      exact += g.degree(v) == d;
+    }
+    // The pairing + repair model leaves at most a few vertices short.
+    EXPECT_GE(exact, g.n() - 4);
+  }
+}
+
+TEST(Generators, BoundedDegreeRespectsCap) {
+  const auto g = random_bounded_degree(200, 7, 600, 5);
+  EXPECT_LE(g.max_degree(), 7u);
+  EXPECT_GT(g.m(), 400u);
+}
+
+TEST(Generators, GeometricAndBarabasi) {
+  const auto geo = random_geometric(150, 0.15, 9);
+  EXPECT_GT(geo.m(), 0u);
+  const auto ba = barabasi_albert(200, 3, 4);
+  EXPECT_GE(ba.m(), 3 * (200 - 4) * 9 / 10u);  // ~3 per arriving vertex
+  // Preferential attachment: the max degree dwarfs the attach parameter.
+  EXPECT_GT(ba.max_degree(), 9u);
+}
+
+TEST(Generators, RngUniformity) {
+  Rng rng(1);
+  std::size_t buckets[8] = {};
+  for (int i = 0; i < 8000; ++i) ++buckets[rng.below(8)];
+  for (auto b : buckets) {
+    EXPECT_GT(b, 800u);
+    EXPECT_LT(b, 1200u);
+  }
+}
+
+TEST(LineGraphTest, TriangleIsTriangle) {
+  const auto lg = line_graph(complete(3));
+  EXPECT_EQ(lg.graph.n(), 3u);
+  EXPECT_EQ(lg.graph.m(), 3u);
+}
+
+TEST(LineGraphTest, DegreesAndMapping) {
+  const auto g = random_gnp(40, 0.15, 6);
+  const auto lg = line_graph(g);
+  EXPECT_EQ(lg.graph.n(), g.m());
+  const auto edges = g.edges();
+  for (Vertex i = 0; i < lg.graph.n(); ++i) {
+    const auto [u, v] = lg.edge_of[i];
+    EXPECT_EQ(lg.graph.degree(i), g.degree(u) + g.degree(v) - 2);
+    EXPECT_EQ(lg.vertex_of({u, v}), i);
+  }
+  // Max degree of L(G) <= 2*Delta - 2.
+  EXPECT_LE(lg.graph.max_degree(), 2 * g.max_degree() - 2);
+}
+
+TEST(Checks, ProperColoring) {
+  const auto g = cycle(6);
+  std::vector<Color> ok = {0, 1, 0, 1, 0, 1};
+  std::vector<Color> bad = {0, 1, 0, 1, 0, 0};
+  EXPECT_TRUE(is_proper_coloring(g, ok));
+  EXPECT_FALSE(is_proper_coloring(g, bad));
+  EXPECT_EQ(palette_size(ok), 2u);
+  EXPECT_EQ(max_color(bad), 1u);
+}
+
+TEST(Checks, DefectVector) {
+  const auto g = complete(4);
+  std::vector<Color> colors = {0, 0, 1, 1};
+  const auto d = defect_vector(g, colors);
+  EXPECT_EQ(d, (std::vector<std::size_t>{1, 1, 1, 1}));
+  EXPECT_TRUE(is_defective_coloring(g, colors, 1));
+  EXPECT_FALSE(is_defective_coloring(g, colors, 0));
+}
+
+TEST(Checks, DegeneracyKnownValues) {
+  EXPECT_EQ(degeneracy(path(10)), 1u);
+  EXPECT_EQ(degeneracy(cycle(10)), 2u);
+  EXPECT_EQ(degeneracy(complete(6)), 5u);
+  EXPECT_EQ(degeneracy(binary_tree(31)), 1u);
+  EXPECT_EQ(degeneracy(grid(5, 5)), 2u);
+  EXPECT_EQ(degeneracy(complete_bipartite(3, 7)), 3u);
+}
+
+TEST(Checks, MisOracle) {
+  const auto g = path(5);
+  EXPECT_TRUE(is_mis(g, {true, false, true, false, true}));
+  EXPECT_TRUE(is_mis(g, {false, true, false, true, false}));
+  EXPECT_FALSE(is_mis(g, {true, true, false, false, true}));   // not independent
+  EXPECT_FALSE(is_mis(g, {true, false, false, false, true}));  // not maximal
+}
+
+TEST(Checks, MatchingOracle) {
+  const auto g = path(6);
+  EXPECT_TRUE(is_maximal_matching(g, std::vector<Edge>{{0, 1}, {2, 3}, {4, 5}}));
+  EXPECT_FALSE(is_maximal_matching(g, std::vector<Edge>{{0, 1}}));  // not maximal
+  EXPECT_FALSE(is_maximal_matching(
+      g, std::vector<Edge>{{0, 1}, {1, 2}}));  // shares endpoint
+  EXPECT_TRUE(is_maximal_matching(g, std::vector<Edge>{{1, 2}, {3, 4}}));
+}
+
+TEST(Checks, EdgeColoringOracle) {
+  const auto g = star(4);
+  EXPECT_TRUE(is_proper_edge_coloring(g, std::vector<Color>{0, 1, 2}));
+  EXPECT_FALSE(is_proper_edge_coloring(g, std::vector<Color>{0, 1, 1}));
+}
+
+TEST(OrientationTest, ByIdAndDegeneracy) {
+  const auto g = random_gnp(80, 0.1, 8);
+  const auto by_id = orient_by_id(g);
+  EXPECT_EQ(by_id.edges.size(), g.m());
+
+  const auto order = smallest_last_order(g);
+  const auto o = orient_by_order(g, order);
+  // Smallest-last orientation witnesses degeneracy.
+  EXPECT_LE(o.max_out_degree(g.n()), degeneracy(g));
+}
+
+TEST(OrientationTest, ArbdefectWitnessConsistency) {
+  // Every color class with degeneracy <= d admits an orientation with
+  // out-degree <= d; cross-check max_class_degeneracy against classes.
+  const auto g = random_regular(120, 10, 11);
+  std::vector<Color> classes(g.n());
+  for (Vertex v = 0; v < g.n(); ++v) classes[v] = v % 4;
+  const auto cd = max_class_degeneracy(g, classes);
+  EXPECT_TRUE(is_arbdefective_coloring(g, classes, cd));
+  if (cd > 0) {
+    EXPECT_FALSE(is_arbdefective_coloring(g, classes, (cd + 1) / 2 - 1));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// The full cross-product: every end-to-end pipeline against every graph
+// family, validating convergence, properness, palette bound, and (for the
+// locally-iterative ones) the per-round invariant.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "agc/arb/eps_coloring.hpp"
+#include "agc/coloring/pipeline.hpp"
+#include "agc/coloring/symmetry.hpp"
+#include "agc/edge/edge_coloring.hpp"
+#include "agc/graph/generators.hpp"
+
+namespace {
+
+using namespace agc;
+
+struct Family {
+  std::string name;
+  std::function<graph::Graph()> make;
+};
+
+const Family kFamilies[] = {
+    {"path", [] { return graph::path(40); }},
+    {"odd_cycle", [] { return graph::cycle(25); }},
+    {"complete", [] { return graph::complete(14); }},
+    {"hypercube", [] { return graph::hypercube(5); }},
+    {"multipartite", [] { return graph::complete_multipartite(3, 6); }},
+    {"caterpillar", [] { return graph::caterpillar(12, 3); }},
+    {"blowup", [] { return graph::cycle_blowup(5, 4); }},
+    {"gnp", [] { return graph::random_gnp(140, 0.07, 11); }},
+    {"regular", [] { return graph::random_regular(140, 9, 13); }},
+    {"geometric", [] { return graph::random_geometric(110, 0.14, 17); }},
+};
+
+class Matrix : public ::testing::TestWithParam<Family> {};
+
+TEST_P(Matrix, AgPipeline) {
+  const auto g = GetParam().make();
+  const auto rep = coloring::color_delta_plus_one(g);
+  EXPECT_TRUE(rep.converged && rep.proper && rep.proper_each_round);
+  EXPECT_LE(graph::max_color(rep.colors), std::max<std::size_t>(g.max_degree(), 1));
+}
+
+TEST_P(Matrix, ExactPipeline) {
+  const auto g = GetParam().make();
+  const auto rep = coloring::color_delta_plus_one_exact(g);
+  EXPECT_TRUE(rep.converged && rep.proper && rep.proper_each_round);
+  EXPECT_LE(graph::max_color(rep.colors), std::max<std::size_t>(g.max_degree(), 1));
+}
+
+TEST_P(Matrix, KwBaseline) {
+  const auto g = GetParam().make();
+  const auto rep = coloring::color_kuhn_wattenhofer(g);
+  EXPECT_TRUE(rep.converged && rep.proper && rep.proper_each_round);
+  EXPECT_LE(graph::max_color(rep.colors), std::max<std::size_t>(g.max_degree(), 1));
+}
+
+TEST_P(Matrix, EpsColoring) {
+  const auto g = GetParam().make();
+  const auto rep = arb::eps_delta_coloring(g, 0.5);
+  EXPECT_TRUE(rep.converged && rep.proper);
+}
+
+TEST_P(Matrix, EdgeColoringCongest) {
+  const auto g = GetParam().make();
+  const auto res = edge::color_edges_distributed(g);
+  EXPECT_TRUE(res.converged && res.proper);
+  const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
+  EXPECT_LE(graph::max_color(res.colors),
+            std::max<std::uint64_t>(2 * delta - 1, 1) - 1);
+}
+
+TEST_P(Matrix, MisAndMatching) {
+  const auto g = GetParam().make();
+  EXPECT_TRUE(coloring::maximal_independent_set(g).valid);
+  EXPECT_TRUE(coloring::maximal_matching(g).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Matrix, ::testing::ValuesIn(kFamilies),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Graph I/O round-trips + static symmetry-breaking corollaries (MIS wave,
+// maximal matching, line-graph edge coloring).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "agc/coloring/symmetry.hpp"
+#include "agc/graph/generators.hpp"
+#include "agc/graph/io.hpp"
+
+namespace {
+
+using namespace agc;
+
+TEST(GraphIo, DimacsRoundTrip) {
+  const auto g = graph::random_gnp(60, 0.1, 4);
+  std::stringstream ss;
+  graph::write_edge_list(ss, g);
+  const auto back = graph::read_edge_list(ss);
+  EXPECT_EQ(back.n(), g.n());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(GraphIo, BareEdgeListZeroBased) {
+  std::stringstream ss("0 1\n1 2\n# comment\n2 3\n");
+  const auto g = graph::read_edge_list(ss);
+  EXPECT_EQ(g.n(), 4u);
+  EXPECT_EQ(g.m(), 3u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphIo, DimacsHeaderAndComments) {
+  std::stringstream ss("c hello\np edge 5 2\ne 1 2\ne 4 5\n");
+  const auto g = graph::read_edge_list(ss);
+  EXPECT_EQ(g.n(), 5u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 4));
+}
+
+TEST(GraphIo, RejectsMalformed) {
+  std::stringstream loop("e 3 3\np edge 5 1\n");
+  EXPECT_THROW(graph::read_edge_list(loop), std::runtime_error);
+  std::stringstream range("p edge 3 1\ne 1 9\n");
+  EXPECT_THROW(graph::read_edge_list(range), std::runtime_error);
+  std::stringstream zero("p edge 3 1\ne 0 1\n");
+  EXPECT_THROW(graph::read_edge_list(zero), std::runtime_error);
+}
+
+TEST(GraphIo, DotAndCsvShapes) {
+  const auto g = graph::cycle(4);
+  std::vector<graph::Color> colors = {0, 1, 0, 1};
+  std::stringstream dot;
+  graph::write_dot(dot, g, colors);
+  EXPECT_NE(dot.str().find("v0 -- v1"), std::string::npos);
+  EXPECT_NE(dot.str().find("fillcolor"), std::string::npos);
+  std::stringstream csv;
+  graph::write_coloring_csv(csv, colors);
+  EXPECT_EQ(csv.str().substr(0, 13), "vertex,color\n");
+}
+
+TEST(MisWave, DecidesInPaletteRounds) {
+  const auto g = graph::random_regular(300, 8, 15);
+  const auto colored = coloring::color_delta_plus_one(g);
+  ASSERT_TRUE(colored.proper);
+  const auto rep = coloring::mis_from_coloring(g, colored.colors);
+  EXPECT_TRUE(rep.valid);
+  EXPECT_LE(rep.rounds_mis, colored.palette + 2);
+}
+
+TEST(MisWave, EndToEndFamilies) {
+  for (const auto& g :
+       {graph::path(30), graph::cycle(31), graph::star(20), graph::complete(12),
+        graph::grid(6, 7), graph::random_gnp(120, 0.08, 3)}) {
+    const auto rep = coloring::maximal_independent_set(g);
+    EXPECT_TRUE(rep.valid);
+  }
+}
+
+TEST(MisWave, StarPicksEitherCenterOrAllLeaves) {
+  const auto rep = coloring::maximal_independent_set(graph::star(12));
+  ASSERT_TRUE(rep.valid);
+  std::size_t size = 0;
+  for (bool b : rep.in_mis) size += b;
+  EXPECT_TRUE(size == 1 || size == 11);
+}
+
+TEST(MaximalMatching, ValidOnFamilies) {
+  for (const auto& g : {graph::path(21), graph::complete(9),
+                        graph::random_gnp(90, 0.07, 8), graph::grid(5, 8)}) {
+    const auto rep = coloring::maximal_matching(g);
+    EXPECT_TRUE(rep.valid);
+  }
+}
+
+TEST(LineGraphEdgeColoring, TwoDeltaMinusOne) {
+  const auto g = graph::random_regular(80, 6, 44);
+  const auto rep = coloring::edge_coloring_via_line_graph(g);
+  EXPECT_TRUE(rep.proper);
+  // Palette = Delta(L(G)) + 1 = 2*Delta - 1.
+  EXPECT_LE(rep.palette, 2 * g.max_degree() - 1);
+}
+
+}  // namespace

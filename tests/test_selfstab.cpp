@@ -1,0 +1,174 @@
+// Self-stabilization suite: Section 4 (coloring, MIS, line-graph MM and
+// edge coloring) and the Section 7 exact-(Delta+1) variant, under RAM
+// corruption, worst-case color cloning, edge churn and vertex churn.
+#include <gtest/gtest.h>
+
+#include "agc/graph/checks.hpp"
+#include "agc/graph/generators.hpp"
+#include "agc/runtime/faults.hpp"
+#include "agc/selfstab/ss_coloring.hpp"
+#include "agc/selfstab/ss_line.hpp"
+#include "agc/selfstab/ss_mis.hpp"
+
+namespace {
+
+using namespace agc;
+using selfstab::PaletteMode;
+using selfstab::SsConfig;
+
+runtime::Engine make_engine(graph::Graph g, std::size_t delta_bound) {
+  runtime::EngineOptions opts;
+  opts.delta_bound = delta_bound;
+  return runtime::Engine(std::move(g), runtime::Transport(runtime::Model::LOCAL),
+                         opts);
+}
+
+std::size_t stabilization_budget(const SsConfig& cfg, std::size_t n) {
+  // O(Delta + log* n) with generous constants.
+  return 24 * (cfg.delta() + 2) + 8 * (cfg.schedule().stages() + 2) + 64 + n / 10;
+}
+
+TEST(SsColoring, StabilizesFromScratchODelta) {
+  const auto g = graph::random_regular(120, 6, 11);
+  SsConfig cfg(g.n(), g.max_degree(), PaletteMode::ODelta);
+  auto engine = make_engine(g, g.max_degree());
+  engine.install(selfstab::ss_coloring_factory(cfg));
+  const auto rep =
+      selfstab::run_until_stable(engine, cfg, stabilization_budget(cfg, g.n()));
+  ASSERT_TRUE(rep.stabilized);
+  EXPECT_TRUE(graph::is_proper_coloring(g, rep.colors));
+  EXPECT_LT(graph::max_color(rep.colors), cfg.final_palette());
+}
+
+TEST(SsColoring, StabilizesFromScratchExact) {
+  const auto g = graph::random_regular(120, 6, 12);
+  SsConfig cfg(g.n(), g.max_degree(), PaletteMode::ExactDeltaPlusOne);
+  auto engine = make_engine(g, g.max_degree());
+  engine.install(selfstab::ss_coloring_factory(cfg));
+  const auto rep =
+      selfstab::run_until_stable(engine, cfg, stabilization_budget(cfg, g.n()));
+  ASSERT_TRUE(rep.stabilized);
+  EXPECT_TRUE(graph::is_proper_coloring(g, rep.colors));
+  EXPECT_LE(graph::max_color(rep.colors), g.max_degree());  // exactly Delta+1 colors
+}
+
+TEST(SsColoring, RecoversFromRamCorruption) {
+  const auto g = graph::random_gnp(150, 0.06, 5);
+  SsConfig cfg(g.n(), g.max_degree(), PaletteMode::ODelta);
+  auto engine = make_engine(g, g.max_degree());
+  engine.install(selfstab::ss_coloring_factory(cfg));
+  ASSERT_TRUE(
+      selfstab::run_until_stable(engine, cfg, stabilization_budget(cfg, g.n()))
+          .stabilized);
+
+  runtime::Adversary adv(99);
+  adv.corrupt_random(engine, 40, cfg.span() * 2);  // includes invalid values
+  adv.clone_neighbor(engine, 20);                  // guaranteed conflicts
+  const auto rep =
+      selfstab::run_until_stable(engine, cfg, stabilization_budget(cfg, g.n()));
+  EXPECT_TRUE(rep.stabilized);
+}
+
+TEST(SsColoring, RecoversFromChurn) {
+  const std::size_t dmax = 10;
+  const auto g = graph::random_bounded_degree(120, dmax, 300, 17);
+  SsConfig cfg(g.n(), dmax, PaletteMode::ExactDeltaPlusOne);
+  runtime::EngineOptions eo;
+  eo.delta_bound = dmax;
+  runtime::Engine engine(g, runtime::Transport(runtime::Model::LOCAL), eo);
+  engine.install(selfstab::ss_coloring_factory(cfg));
+  ASSERT_TRUE(
+      selfstab::run_until_stable(engine, cfg, stabilization_budget(cfg, g.n()))
+          .stabilized);
+
+  runtime::Adversary adv(7);
+  adv.churn_edges(engine, 30, 30, dmax);
+  adv.churn_vertices(engine, 5, 3, dmax);
+  const auto rep = selfstab::run_until_stable(engine, cfg,
+                                              stabilization_budget(cfg, g.n()));
+  EXPECT_TRUE(rep.stabilized);
+  EXPECT_LE(graph::max_color(rep.colors), dmax);  // palette stays Delta+1
+}
+
+TEST(SsColoring, AdjustmentRadiusOne) {
+  // Corrupt a single vertex; only its 1-hop neighborhood may change color.
+  const auto g = graph::random_regular(100, 4, 23);
+  SsConfig cfg(g.n(), g.max_degree(), PaletteMode::ODelta);
+  auto engine = make_engine(g, g.max_degree());
+  engine.install(selfstab::ss_coloring_factory(cfg));
+  ASSERT_TRUE(
+      selfstab::run_until_stable(engine, cfg, stabilization_budget(cfg, g.n()))
+          .stabilized);
+
+  const auto before = selfstab::current_colors(engine);
+  const graph::Vertex victim = 42;
+  // Clone a neighbor's color: forces victim (and possibly that neighborhood)
+  // to recompute.
+  engine.corrupt_ram(victim, 0, before[engine.graph().neighbors(victim)[0]]);
+  const auto rep =
+      selfstab::run_until_stable(engine, cfg, stabilization_budget(cfg, g.n()));
+  ASSERT_TRUE(rep.stabilized);
+
+  for (graph::Vertex v = 0; v < g.n(); ++v) {
+    if (v == victim || g.has_edge(v, victim)) continue;
+    EXPECT_EQ(rep.colors[v], before[v]) << "vertex " << v << " outside the 1-hop "
+                                        << "neighborhood changed color";
+  }
+}
+
+TEST(SsMis, StabilizesAndRecovers) {
+  const auto g = graph::random_gnp(120, 0.05, 31);
+  SsConfig cfg(g.n(), std::max<std::size_t>(g.max_degree(), 1), PaletteMode::ODelta);
+  auto engine = make_engine(g, std::max<std::size_t>(g.max_degree(), 1));
+  engine.install(selfstab::ss_mis_factory(cfg));
+  auto rep = selfstab::run_until_mis_stable(
+      engine, cfg, 4 * stabilization_budget(cfg, g.n()));
+  ASSERT_TRUE(rep.stabilized);
+  EXPECT_TRUE(graph::is_mis(g, rep.in_mis));
+
+  runtime::Adversary adv(3);
+  adv.corrupt_random(engine, 30, cfg.span(), /*word=*/0);  // colors
+  adv.corrupt_random(engine, 30, 4, /*word=*/1);           // statuses
+  rep = selfstab::run_until_mis_stable(engine, cfg,
+                                       4 * stabilization_budget(cfg, g.n()));
+  EXPECT_TRUE(rep.stabilized);
+  EXPECT_TRUE(graph::is_mis(g, rep.in_mis));
+}
+
+TEST(SsLine, EdgeColoringStabilizesToTwoDeltaMinusOne) {
+  const auto g = graph::random_regular(60, 5, 77);
+  selfstab::SsLineConfig cfg(g.n(), g.max_degree(), selfstab::LineTask::EdgeColoring);
+  auto engine = make_engine(g, g.max_degree());
+  engine.install(selfstab::ss_line_factory(cfg));
+  const std::size_t budget =
+      4 * stabilization_budget(cfg.coloring(), g.n()) + 4 * g.n();
+  const auto rep = selfstab::run_until_line_stable(engine, cfg, budget);
+  ASSERT_TRUE(rep.stabilized);
+  const auto colors = selfstab::current_edge_colors(engine);
+  EXPECT_TRUE(graph::is_proper_edge_coloring(g, colors));
+  EXPECT_LT(graph::max_color(colors), 2 * g.max_degree() - 1)
+      << "palette must be exactly 2*Delta-1";
+}
+
+TEST(SsLine, MaximalMatchingStabilizesAndRecovers) {
+  const auto g = graph::random_gnp(60, 0.08, 41);
+  selfstab::SsLineConfig cfg(g.n(), std::max<std::size_t>(g.max_degree(), 1),
+                             selfstab::LineTask::MaximalMatching);
+  auto engine = make_engine(g, std::max<std::size_t>(g.max_degree(), 1));
+  engine.install(selfstab::ss_line_factory(cfg));
+  const std::size_t budget =
+      8 * stabilization_budget(cfg.coloring(), g.n()) + 8 * g.n();
+  auto rep = selfstab::run_until_line_stable(engine, cfg, budget);
+  ASSERT_TRUE(rep.stabilized);
+  EXPECT_TRUE(graph::is_maximal_matching(g, selfstab::current_matching(engine)));
+
+  runtime::Adversary adv(5);
+  for (graph::Vertex v = 0; v < 20; ++v) {
+    adv.corrupt_random(engine, 3, cfg.coloring().span() << 2);
+  }
+  rep = selfstab::run_until_line_stable(engine, cfg, budget);
+  EXPECT_TRUE(rep.stabilized);
+  EXPECT_TRUE(graph::is_maximal_matching(g, selfstab::current_matching(engine)));
+}
+
+}  // namespace

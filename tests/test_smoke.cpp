@@ -1,0 +1,46 @@
+// Quick end-to-end smoke checks of the core pipelines; the real suites live
+// in the per-module test files.
+#include <gtest/gtest.h>
+
+#include "agc/coloring/pipeline.hpp"
+#include "agc/graph/generators.hpp"
+
+namespace {
+
+using namespace agc;
+
+TEST(Smoke, DeltaPlusOneOnRandomRegular) {
+  const auto g = graph::random_regular(200, 8, 42);
+  const auto rep = coloring::color_delta_plus_one(g);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_TRUE(rep.proper);
+  EXPECT_TRUE(rep.proper_each_round);
+  EXPECT_LE(graph::max_color(rep.colors), g.max_degree());
+}
+
+TEST(Smoke, ExactDeltaPlusOneOnGnp) {
+  const auto g = graph::random_gnp(300, 0.05, 7);
+  const auto rep = coloring::color_delta_plus_one_exact(g);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_TRUE(rep.proper);
+  EXPECT_LE(graph::max_color(rep.colors), g.max_degree());
+}
+
+TEST(Smoke, KwBaseline) {
+  const auto g = graph::random_regular(200, 8, 1);
+  const auto rep = coloring::color_kuhn_wattenhofer(g);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_TRUE(rep.proper);
+  EXPECT_LE(graph::max_color(rep.colors), g.max_degree());
+}
+
+TEST(Smoke, AgBeatsKwInRounds) {
+  const auto g = graph::random_regular(400, 32, 3);
+  const auto ours = coloring::color_delta_plus_one(g);
+  const auto kw = coloring::color_kuhn_wattenhofer(g);
+  ASSERT_TRUE(ours.converged && kw.converged);
+  // The headline: O(Delta) vs O(Delta log Delta).
+  EXPECT_LT(ours.total_rounds, kw.total_rounds);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Trace recorder and metrics accounting units.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "agc/coloring/ag.hpp"
+#include "agc/coloring/linial.hpp"
+#include "agc/coloring/pipeline.hpp"
+#include "agc/graph/generators.hpp"
+#include "agc/runtime/trace.hpp"
+
+namespace {
+
+using namespace agc;
+
+TEST(Trace, RecordsMonotoneFinalization) {
+  const auto g = graph::random_regular(150, 6, 2);
+  auto lin = coloring::linial_color(g, coloring::identity_coloring(g.n()), g.n(), 6);
+  const std::uint64_t q = coloring::ag_modulus(6, graph::max_color(lin.colors) + 1);
+  coloring::AgRule rule(q);
+
+  runtime::TraceRecorder trace(g, [&](runtime::Color c) { return rule.is_final(c); });
+  runtime::IterativeOptions io;
+  io.on_round = trace.observer();
+  auto res = runtime::run_locally_iterative(g, std::move(lin.colors), rule, io);
+  ASSERT_TRUE(res.converged);
+
+  const auto& pts = trace.points();
+  ASSERT_EQ(pts.size(), res.rounds + 1);  // includes the round-0 snapshot
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].round, i);
+    EXPECT_LE(pts[i].finalized, pts[i + 1].finalized);  // finalization is monotone
+    EXPECT_EQ(pts[i].monochromatic_edges, 0u);          // proper throughout
+  }
+  EXPECT_EQ(pts.back().finalized, g.n());
+}
+
+TEST(Trace, SplicesPipelineStages) {
+  const auto g = graph::random_regular(100, 5, 9);
+  runtime::TraceRecorder trace(g, nullptr);
+  coloring::PipelineOptions opts;
+  opts.iter.on_round = trace.observer();
+  const auto rep = coloring::color_delta_plus_one(g, opts);
+  ASSERT_TRUE(rep.converged);
+  // Rounds are strictly increasing across stage boundaries.
+  const auto& pts = trace.points();
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    EXPECT_LT(pts[i].round, pts[i + 1].round);
+  }
+  EXPECT_EQ(pts.back().round, rep.total_rounds);
+}
+
+TEST(Trace, CsvAndAsciiOutput) {
+  const auto g = graph::cycle(8);
+  runtime::TraceRecorder trace(g, nullptr);
+  std::vector<runtime::Color> colors = {0, 1, 0, 1, 0, 1, 0, 1};
+  trace.record(0, colors);
+  std::stringstream csv;
+  trace.write_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "round,distinct_colors,finalized,monochromatic_edges\n0,2,0,0\n");
+  std::stringstream art;
+  trace.write_ascii(art);
+  EXPECT_NE(art.str().find('#'), std::string::npos);
+}
+
+TEST(Metrics, BitsScaleWithPaletteWidth) {
+  // The same graph colored from a wider ID space must ship more bits.
+  const auto g = graph::random_regular(200, 6, 4);
+  coloring::PipelineOptions narrow;
+  coloring::PipelineOptions wide;
+  wide.id_space_factor = 1ULL << 40;
+  const auto a = coloring::color_delta_plus_one(g, narrow);
+  const auto b = coloring::color_delta_plus_one(g, wide);
+  ASSERT_TRUE(a.converged && b.converged);
+  EXPECT_GT(b.metrics.total_bits, a.metrics.total_bits);
+}
+
+TEST(Metrics, SummaryMentionsEveryCounter) {
+  runtime::Metrics m;
+  m.rounds = 3;
+  m.messages = 7;
+  m.total_bits = 42;
+  m.max_edge_bits = 9;
+  const auto s = m.summary();
+  EXPECT_NE(s.find("rounds=3"), std::string::npos);
+  EXPECT_NE(s.find("messages=7"), std::string::npos);
+  EXPECT_NE(s.find("bits=42"), std::string::npos);
+}
+
+}  // namespace

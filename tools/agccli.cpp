@@ -1,0 +1,276 @@
+// agccli — command-line front end for the agcolor library.
+//
+//   agccli color    --graph <spec> [--algo ag|exact|kw|gps|odelta|eps|sublinear]
+//                   [--model setlocal|local|congest] [--eps <x>]
+//                   [--csv <file>] [--dot <file>]
+//   agccli edges    --graph <spec> [--bit-round] [--no-exact] [--csv <file>]
+//   agccli mis      --graph <spec>
+//   agccli match    --graph <spec>
+//   agccli selfstab --graph <spec> [--exact] [--faults <k>] [--epochs <e>]
+//   agccli gen      --graph <spec> --out <file>
+//
+// Graph specs:
+//   file:PATH                DIMACS-flavored edge list (see graph/io.hpp)
+//   gnp:N,P,SEED             Erdos-Renyi
+//   regular:N,D,SEED         random D-regular
+//   grid:R,C | cycle:N | path:N | complete:N | star:N | tree:N
+//   geometric:N,RADIUS,SEED  random geometric (unit square)
+//   ba:N,K,SEED              Barabasi-Albert preferential attachment
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "agc/arb/eps_coloring.hpp"
+#include "agc/coloring/pipeline.hpp"
+#include "agc/coloring/symmetry.hpp"
+#include "agc/edge/edge_coloring.hpp"
+#include "agc/graph/generators.hpp"
+#include "agc/graph/io.hpp"
+#include "agc/runtime/faults.hpp"
+#include "agc/runtime/trace.hpp"
+#include "agc/selfstab/ss_coloring.hpp"
+
+namespace {
+
+using namespace agc;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: agccli <color|edges|mis|match|selfstab|gen> --graph <spec> "
+               "[options]\nsee the header of tools/agccli.cpp for details\n");
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, sep)) out.push_back(tok);
+  return out;
+}
+
+graph::Graph make_graph(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) usage("graph spec needs kind:args");
+  const std::string kind = spec.substr(0, colon);
+  const auto args = split(spec.substr(colon + 1), ',');
+  auto num = [&](std::size_t i) -> std::uint64_t {
+    if (i >= args.size()) usage("missing graph argument");
+    return std::strtoull(args[i].c_str(), nullptr, 10);
+  };
+  auto real = [&](std::size_t i) -> double {
+    if (i >= args.size()) usage("missing graph argument");
+    return std::strtod(args[i].c_str(), nullptr);
+  };
+  if (kind == "file") return graph::read_edge_list_file(spec.substr(colon + 1));
+  if (kind == "gnp") return graph::random_gnp(num(0), real(1), num(2));
+  if (kind == "regular") return graph::random_regular(num(0), num(1), num(2));
+  if (kind == "grid") return graph::grid(num(0), num(1));
+  if (kind == "cycle") return graph::cycle(num(0));
+  if (kind == "path") return graph::path(num(0));
+  if (kind == "complete") return graph::complete(num(0));
+  if (kind == "star") return graph::star(num(0));
+  if (kind == "tree") return graph::binary_tree(num(0));
+  if (kind == "geometric") return graph::random_geometric(num(0), real(1), num(2));
+  if (kind == "ba") return graph::barabasi_albert(num(0), num(1), num(2));
+  usage("unknown graph kind");
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> kv;
+  bool has(const std::string& k) const { return kv.count(k) != 0; }
+  std::string get(const std::string& k, const std::string& dflt = "") const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("options start with --");
+    key = key.substr(2);
+    // Flags without values.
+    if (key == "bit-round" || key == "no-exact" || key == "exact") {
+      a.kv[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) usage(("missing value for --" + key).c_str());
+    a.kv[key] = argv[++i];
+  }
+  if (!a.has("graph") && a.command != "help") usage("--graph is required");
+  return a;
+}
+
+int cmd_color(const Args& a) {
+  const auto g = make_graph(a.get("graph"));
+  coloring::PipelineOptions opts;
+  runtime::TraceRecorder trace(g, nullptr);
+  if (a.has("trace")) opts.iter.on_round = trace.observer();
+  const std::string model = a.get("model", "setlocal");
+  if (model == "local") {
+    opts.iter.model = runtime::Model::LOCAL;
+  } else if (model == "congest") {
+    opts.iter.model = runtime::Model::CONGEST;
+  } else if (model != "setlocal") {
+    usage("unknown --model");
+  }
+
+  const std::string algo = a.get("algo", "ag");
+  std::vector<coloring::Color> colors;
+  std::size_t rounds = 0, palette = 0;
+  bool ok = false;
+  if (algo == "eps" || algo == "sublinear") {
+    const auto rep = algo == "eps"
+                         ? arb::eps_delta_coloring(
+                               g, std::strtod(a.get("eps", "0.5").c_str(), nullptr))
+                         : arb::sublinear_delta_plus_one(g);
+    colors = rep.colors;
+    rounds = rep.rounds;
+    palette = rep.palette;
+    ok = rep.converged && rep.proper;
+  } else {
+    coloring::PipelineReport rep;
+    if (algo == "ag") {
+      rep = coloring::color_delta_plus_one(g, opts);
+    } else if (algo == "exact") {
+      rep = coloring::color_delta_plus_one_exact(g, opts);
+    } else if (algo == "kw") {
+      rep = coloring::color_kuhn_wattenhofer(g, opts);
+    } else if (algo == "gps") {
+      rep = coloring::color_linial_greedy(g, opts);
+    } else if (algo == "odelta") {
+      rep = coloring::color_o_delta(g, opts);
+    } else {
+      usage("unknown --algo");
+    }
+    colors = rep.colors;
+    rounds = rep.total_rounds;
+    palette = rep.palette;
+    ok = rep.converged && rep.proper;
+  }
+
+  std::printf("n=%zu m=%zu Delta=%zu algo=%s model=%s\n", g.n(), g.m(),
+              g.max_degree(), algo.c_str(), model.c_str());
+  std::printf("rounds=%zu palette=%zu proper=%s\n", rounds, palette,
+              ok ? "yes" : "NO");
+  if (a.has("csv")) {
+    std::ofstream out(a.get("csv"));
+    graph::write_coloring_csv(out, colors);
+  }
+  if (a.has("dot")) {
+    std::ofstream out(a.get("dot"));
+    graph::write_dot(out, g, colors);
+  }
+  if (a.has("trace")) {
+    std::ofstream out(a.get("trace"));
+    trace.write_csv(out);
+  }
+  return ok ? 0 : 1;
+}
+
+int cmd_edges(const Args& a) {
+  const auto g = make_graph(a.get("graph"));
+  edge::EdgeColoringOptions opts;
+  opts.bit_round = a.has("bit-round");
+  opts.exact = !a.has("no-exact");
+  const auto res = edge::color_edges_distributed(g, opts);
+  std::printf("n=%zu m=%zu Delta=%zu model=%s\n", g.n(), g.m(), g.max_degree(),
+              opts.bit_round ? "BIT" : "CONGEST");
+  std::printf("rounds=%zu palette=%zu (2D-1=%zu) proper=%s bits/edge=%.1f\n",
+              res.rounds, res.palette,
+              g.max_degree() > 0 ? 2 * g.max_degree() - 1 : 1,
+              res.proper ? "yes" : "NO", res.avg_bits_per_edge);
+  if (a.has("csv")) {
+    std::ofstream out(a.get("csv"));
+    graph::write_coloring_csv(out, res.colors);
+  }
+  return res.proper ? 0 : 1;
+}
+
+int cmd_mis(const Args& a) {
+  const auto g = make_graph(a.get("graph"));
+  const auto rep = coloring::maximal_independent_set(g);
+  std::size_t size = 0;
+  for (bool b : rep.in_mis) size += b;
+  std::printf("n=%zu m=%zu Delta=%zu\n", g.n(), g.m(), g.max_degree());
+  std::printf("rounds=%zu (coloring %zu + wave %zu) |MIS|=%zu valid=%s\n",
+              rep.rounds_coloring + rep.rounds_mis, rep.rounds_coloring,
+              rep.rounds_mis, size, rep.valid ? "yes" : "NO");
+  return rep.valid ? 0 : 1;
+}
+
+int cmd_match(const Args& a) {
+  const auto g = make_graph(a.get("graph"));
+  const auto rep = coloring::maximal_matching(g);
+  std::printf("n=%zu m=%zu Delta=%zu\n", g.n(), g.m(), g.max_degree());
+  std::printf("line-graph rounds=%zu |M|=%zu valid=%s\n", rep.rounds,
+              rep.matching.size(), rep.valid ? "yes" : "NO");
+  return rep.valid ? 0 : 1;
+}
+
+int cmd_selfstab(const Args& a) {
+  const auto g = make_graph(a.get("graph"));
+  const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
+  const auto mode = a.has("exact") ? selfstab::PaletteMode::ExactDeltaPlusOne
+                                   : selfstab::PaletteMode::ODelta;
+  selfstab::SsConfig cfg(g.n(), delta, mode);
+  runtime::EngineOptions eo;
+  eo.delta_bound = delta;
+  runtime::Engine engine(g, runtime::Transport(runtime::Model::LOCAL), eo);
+  engine.install(selfstab::ss_coloring_factory(cfg));
+
+  const auto faults = std::strtoull(a.get("faults", "16").c_str(), nullptr, 10);
+  const auto epochs = std::strtoull(a.get("epochs", "3").c_str(), nullptr, 10);
+  runtime::Adversary adv(1);
+  for (std::uint64_t e = 0; e <= epochs; ++e) {
+    if (e > 0) {
+      adv.corrupt_random(engine, faults, cfg.span());
+      adv.clone_neighbor(engine, faults / 2 + 1);
+    }
+    const auto rep = selfstab::run_until_stable(engine, cfg, 1000000);
+    std::printf("epoch %llu: %s after %zu rounds (palette<=%llu)\n",
+                static_cast<unsigned long long>(e),
+                rep.stabilized ? "stable" : "NOT STABLE", rep.rounds_to_stable,
+                static_cast<unsigned long long>(cfg.final_palette()));
+    if (!rep.stabilized) return 1;
+  }
+  return 0;
+}
+
+int cmd_gen(const Args& a) {
+  const auto g = make_graph(a.get("graph"));
+  if (!a.has("out")) usage("gen needs --out");
+  std::ofstream out(a.get("out"));
+  graph::write_edge_list(out, g);
+  std::printf("wrote n=%zu m=%zu to %s\n", g.n(), g.m(), a.get("out").c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    if (a.command == "color") return cmd_color(a);
+    if (a.command == "edges") return cmd_edges(a);
+    if (a.command == "mis") return cmd_mis(a);
+    if (a.command == "match") return cmd_match(a);
+    if (a.command == "selfstab") return cmd_selfstab(a);
+    if (a.command == "gen") return cmd_gen(a);
+    usage("unknown command");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
