@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ag.dir/bench_ag.cpp.o"
+  "CMakeFiles/bench_ag.dir/bench_ag.cpp.o.d"
+  "bench_ag"
+  "bench_ag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arb.dir/bench_arb.cpp.o"
+  "CMakeFiles/bench_arb.dir/bench_arb.cpp.o.d"
+  "bench_arb"
+  "bench_arb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

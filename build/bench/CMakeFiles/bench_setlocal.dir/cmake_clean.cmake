@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_setlocal.dir/bench_setlocal.cpp.o"
+  "CMakeFiles/bench_setlocal.dir/bench_setlocal.cpp.o.d"
+  "bench_setlocal"
+  "bench_setlocal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_setlocal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_frequency.dir/anonymous_frequency.cpp.o"
+  "CMakeFiles/anonymous_frequency.dir/anonymous_frequency.cpp.o.d"
+  "anonymous_frequency"
+  "anonymous_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

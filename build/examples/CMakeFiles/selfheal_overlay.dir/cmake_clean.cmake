@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfheal_overlay.dir/selfheal_overlay.cpp.o"
+  "CMakeFiles/selfheal_overlay.dir/selfheal_overlay.cpp.o.d"
+  "selfheal_overlay"
+  "selfheal_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfheal_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_tdma.dir/sensor_tdma.cpp.o"
+  "CMakeFiles/sensor_tdma.dir/sensor_tdma.cpp.o.d"
+  "sensor_tdma"
+  "sensor_tdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_tdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudden_collapse.dir/sudden_collapse.cpp.o"
+  "CMakeFiles/sudden_collapse.dir/sudden_collapse.cpp.o.d"
+  "sudden_collapse"
+  "sudden_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudden_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

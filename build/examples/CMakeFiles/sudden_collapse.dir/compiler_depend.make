@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sudden_collapse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arb/arbag.cpp" "src/CMakeFiles/agc_arb.dir/arb/arbag.cpp.o" "gcc" "src/CMakeFiles/agc_arb.dir/arb/arbag.cpp.o.d"
+  "/root/repo/src/arb/defective.cpp" "src/CMakeFiles/agc_arb.dir/arb/defective.cpp.o" "gcc" "src/CMakeFiles/agc_arb.dir/arb/defective.cpp.o.d"
+  "/root/repo/src/arb/eps_coloring.cpp" "src/CMakeFiles/agc_arb.dir/arb/eps_coloring.cpp.o" "gcc" "src/CMakeFiles/agc_arb.dir/arb/eps_coloring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/agc_coloring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agc_arb.dir/arb/arbag.cpp.o"
+  "CMakeFiles/agc_arb.dir/arb/arbag.cpp.o.d"
+  "CMakeFiles/agc_arb.dir/arb/defective.cpp.o"
+  "CMakeFiles/agc_arb.dir/arb/defective.cpp.o.d"
+  "CMakeFiles/agc_arb.dir/arb/eps_coloring.cpp.o"
+  "CMakeFiles/agc_arb.dir/arb/eps_coloring.cpp.o.d"
+  "libagc_arb.a"
+  "libagc_arb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agc_arb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

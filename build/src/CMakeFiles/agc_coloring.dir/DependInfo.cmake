@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coloring/ag.cpp" "src/CMakeFiles/agc_coloring.dir/coloring/ag.cpp.o" "gcc" "src/CMakeFiles/agc_coloring.dir/coloring/ag.cpp.o.d"
+  "/root/repo/src/coloring/ag3.cpp" "src/CMakeFiles/agc_coloring.dir/coloring/ag3.cpp.o" "gcc" "src/CMakeFiles/agc_coloring.dir/coloring/ag3.cpp.o.d"
+  "/root/repo/src/coloring/cole_vishkin.cpp" "src/CMakeFiles/agc_coloring.dir/coloring/cole_vishkin.cpp.o" "gcc" "src/CMakeFiles/agc_coloring.dir/coloring/cole_vishkin.cpp.o.d"
+  "/root/repo/src/coloring/kuhn_wattenhofer.cpp" "src/CMakeFiles/agc_coloring.dir/coloring/kuhn_wattenhofer.cpp.o" "gcc" "src/CMakeFiles/agc_coloring.dir/coloring/kuhn_wattenhofer.cpp.o.d"
+  "/root/repo/src/coloring/linial.cpp" "src/CMakeFiles/agc_coloring.dir/coloring/linial.cpp.o" "gcc" "src/CMakeFiles/agc_coloring.dir/coloring/linial.cpp.o.d"
+  "/root/repo/src/coloring/linial_stream.cpp" "src/CMakeFiles/agc_coloring.dir/coloring/linial_stream.cpp.o" "gcc" "src/CMakeFiles/agc_coloring.dir/coloring/linial_stream.cpp.o.d"
+  "/root/repo/src/coloring/palette.cpp" "src/CMakeFiles/agc_coloring.dir/coloring/palette.cpp.o" "gcc" "src/CMakeFiles/agc_coloring.dir/coloring/palette.cpp.o.d"
+  "/root/repo/src/coloring/pipeline.cpp" "src/CMakeFiles/agc_coloring.dir/coloring/pipeline.cpp.o" "gcc" "src/CMakeFiles/agc_coloring.dir/coloring/pipeline.cpp.o.d"
+  "/root/repo/src/coloring/reduction.cpp" "src/CMakeFiles/agc_coloring.dir/coloring/reduction.cpp.o" "gcc" "src/CMakeFiles/agc_coloring.dir/coloring/reduction.cpp.o.d"
+  "/root/repo/src/coloring/symmetry.cpp" "src/CMakeFiles/agc_coloring.dir/coloring/symmetry.cpp.o" "gcc" "src/CMakeFiles/agc_coloring.dir/coloring/symmetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/agc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

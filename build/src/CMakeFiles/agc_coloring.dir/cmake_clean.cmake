@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agc_coloring.dir/coloring/ag.cpp.o"
+  "CMakeFiles/agc_coloring.dir/coloring/ag.cpp.o.d"
+  "CMakeFiles/agc_coloring.dir/coloring/ag3.cpp.o"
+  "CMakeFiles/agc_coloring.dir/coloring/ag3.cpp.o.d"
+  "CMakeFiles/agc_coloring.dir/coloring/cole_vishkin.cpp.o"
+  "CMakeFiles/agc_coloring.dir/coloring/cole_vishkin.cpp.o.d"
+  "CMakeFiles/agc_coloring.dir/coloring/kuhn_wattenhofer.cpp.o"
+  "CMakeFiles/agc_coloring.dir/coloring/kuhn_wattenhofer.cpp.o.d"
+  "CMakeFiles/agc_coloring.dir/coloring/linial.cpp.o"
+  "CMakeFiles/agc_coloring.dir/coloring/linial.cpp.o.d"
+  "CMakeFiles/agc_coloring.dir/coloring/linial_stream.cpp.o"
+  "CMakeFiles/agc_coloring.dir/coloring/linial_stream.cpp.o.d"
+  "CMakeFiles/agc_coloring.dir/coloring/palette.cpp.o"
+  "CMakeFiles/agc_coloring.dir/coloring/palette.cpp.o.d"
+  "CMakeFiles/agc_coloring.dir/coloring/pipeline.cpp.o"
+  "CMakeFiles/agc_coloring.dir/coloring/pipeline.cpp.o.d"
+  "CMakeFiles/agc_coloring.dir/coloring/reduction.cpp.o"
+  "CMakeFiles/agc_coloring.dir/coloring/reduction.cpp.o.d"
+  "CMakeFiles/agc_coloring.dir/coloring/symmetry.cpp.o"
+  "CMakeFiles/agc_coloring.dir/coloring/symmetry.cpp.o.d"
+  "libagc_coloring.a"
+  "libagc_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agc_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libagc_coloring.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agc_edge.dir/edge/defective_edge.cpp.o"
+  "CMakeFiles/agc_edge.dir/edge/defective_edge.cpp.o.d"
+  "CMakeFiles/agc_edge.dir/edge/edge_ag.cpp.o"
+  "CMakeFiles/agc_edge.dir/edge/edge_ag.cpp.o.d"
+  "libagc_edge.a"
+  "libagc_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agc_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agc_graph.dir/graph/checks.cpp.o"
+  "CMakeFiles/agc_graph.dir/graph/checks.cpp.o.d"
+  "CMakeFiles/agc_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/agc_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/agc_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/agc_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/agc_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/agc_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/agc_graph.dir/graph/line_graph.cpp.o"
+  "CMakeFiles/agc_graph.dir/graph/line_graph.cpp.o.d"
+  "CMakeFiles/agc_graph.dir/graph/orientation.cpp.o"
+  "CMakeFiles/agc_graph.dir/graph/orientation.cpp.o.d"
+  "libagc_graph.a"
+  "libagc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/gf.cpp" "src/CMakeFiles/agc_math.dir/math/gf.cpp.o" "gcc" "src/CMakeFiles/agc_math.dir/math/gf.cpp.o.d"
+  "/root/repo/src/math/iterated_log.cpp" "src/CMakeFiles/agc_math.dir/math/iterated_log.cpp.o" "gcc" "src/CMakeFiles/agc_math.dir/math/iterated_log.cpp.o.d"
+  "/root/repo/src/math/polynomial.cpp" "src/CMakeFiles/agc_math.dir/math/polynomial.cpp.o" "gcc" "src/CMakeFiles/agc_math.dir/math/polynomial.cpp.o.d"
+  "/root/repo/src/math/primes.cpp" "src/CMakeFiles/agc_math.dir/math/primes.cpp.o" "gcc" "src/CMakeFiles/agc_math.dir/math/primes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

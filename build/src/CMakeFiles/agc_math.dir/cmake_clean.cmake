@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agc_math.dir/math/gf.cpp.o"
+  "CMakeFiles/agc_math.dir/math/gf.cpp.o.d"
+  "CMakeFiles/agc_math.dir/math/iterated_log.cpp.o"
+  "CMakeFiles/agc_math.dir/math/iterated_log.cpp.o.d"
+  "CMakeFiles/agc_math.dir/math/polynomial.cpp.o"
+  "CMakeFiles/agc_math.dir/math/polynomial.cpp.o.d"
+  "CMakeFiles/agc_math.dir/math/primes.cpp.o"
+  "CMakeFiles/agc_math.dir/math/primes.cpp.o.d"
+  "libagc_math.a"
+  "libagc_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agc_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/engine.cpp" "src/CMakeFiles/agc_runtime.dir/runtime/engine.cpp.o" "gcc" "src/CMakeFiles/agc_runtime.dir/runtime/engine.cpp.o.d"
+  "/root/repo/src/runtime/faults.cpp" "src/CMakeFiles/agc_runtime.dir/runtime/faults.cpp.o" "gcc" "src/CMakeFiles/agc_runtime.dir/runtime/faults.cpp.o.d"
+  "/root/repo/src/runtime/iterative.cpp" "src/CMakeFiles/agc_runtime.dir/runtime/iterative.cpp.o" "gcc" "src/CMakeFiles/agc_runtime.dir/runtime/iterative.cpp.o.d"
+  "/root/repo/src/runtime/metrics.cpp" "src/CMakeFiles/agc_runtime.dir/runtime/metrics.cpp.o" "gcc" "src/CMakeFiles/agc_runtime.dir/runtime/metrics.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/CMakeFiles/agc_runtime.dir/runtime/trace.cpp.o" "gcc" "src/CMakeFiles/agc_runtime.dir/runtime/trace.cpp.o.d"
+  "/root/repo/src/runtime/transport.cpp" "src/CMakeFiles/agc_runtime.dir/runtime/transport.cpp.o" "gcc" "src/CMakeFiles/agc_runtime.dir/runtime/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/agc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agc_runtime.dir/runtime/engine.cpp.o"
+  "CMakeFiles/agc_runtime.dir/runtime/engine.cpp.o.d"
+  "CMakeFiles/agc_runtime.dir/runtime/faults.cpp.o"
+  "CMakeFiles/agc_runtime.dir/runtime/faults.cpp.o.d"
+  "CMakeFiles/agc_runtime.dir/runtime/iterative.cpp.o"
+  "CMakeFiles/agc_runtime.dir/runtime/iterative.cpp.o.d"
+  "CMakeFiles/agc_runtime.dir/runtime/metrics.cpp.o"
+  "CMakeFiles/agc_runtime.dir/runtime/metrics.cpp.o.d"
+  "CMakeFiles/agc_runtime.dir/runtime/trace.cpp.o"
+  "CMakeFiles/agc_runtime.dir/runtime/trace.cpp.o.d"
+  "CMakeFiles/agc_runtime.dir/runtime/transport.cpp.o"
+  "CMakeFiles/agc_runtime.dir/runtime/transport.cpp.o.d"
+  "libagc_runtime.a"
+  "libagc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agc_selfstab.dir/selfstab/ss_coloring.cpp.o"
+  "CMakeFiles/agc_selfstab.dir/selfstab/ss_coloring.cpp.o.d"
+  "CMakeFiles/agc_selfstab.dir/selfstab/ss_line.cpp.o"
+  "CMakeFiles/agc_selfstab.dir/selfstab/ss_line.cpp.o.d"
+  "CMakeFiles/agc_selfstab.dir/selfstab/ss_mis.cpp.o"
+  "CMakeFiles/agc_selfstab.dir/selfstab/ss_mis.cpp.o.d"
+  "libagc_selfstab.a"
+  "libagc_selfstab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agc_selfstab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

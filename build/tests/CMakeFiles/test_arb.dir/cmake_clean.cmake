@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arb.dir/test_arb.cpp.o"
+  "CMakeFiles/test_arb.dir/test_arb.cpp.o.d"
+  "test_arb"
+  "test_arb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

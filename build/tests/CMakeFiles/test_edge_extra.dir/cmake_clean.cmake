@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_extra.dir/test_edge_extra.cpp.o"
+  "CMakeFiles/test_edge_extra.dir/test_edge_extra.cpp.o.d"
+  "test_edge_extra"
+  "test_edge_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

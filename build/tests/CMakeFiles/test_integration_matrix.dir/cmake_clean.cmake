@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_matrix.dir/test_integration_matrix.cpp.o"
+  "CMakeFiles/test_integration_matrix.dir/test_integration_matrix.cpp.o.d"
+  "test_integration_matrix"
+  "test_integration_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

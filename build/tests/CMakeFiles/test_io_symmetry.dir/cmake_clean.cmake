@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_symmetry.dir/test_io_symmetry.cpp.o"
+  "CMakeFiles/test_io_symmetry.dir/test_io_symmetry.cpp.o.d"
+  "test_io_symmetry"
+  "test_io_symmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

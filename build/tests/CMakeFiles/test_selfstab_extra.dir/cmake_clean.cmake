@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selfstab_extra.dir/test_selfstab_extra.cpp.o"
+  "CMakeFiles/test_selfstab_extra.dir/test_selfstab_extra.cpp.o.d"
+  "test_selfstab_extra"
+  "test_selfstab_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selfstab_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

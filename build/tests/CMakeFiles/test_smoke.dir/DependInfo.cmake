@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/test_smoke.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/test_smoke.dir/test_smoke.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/agc_selfstab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agc_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agc_arb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agc_coloring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_gens_ss.dir/test_stream_gens_ss.cpp.o"
+  "CMakeFiles/test_stream_gens_ss.dir/test_stream_gens_ss.cpp.o.d"
+  "test_stream_gens_ss"
+  "test_stream_gens_ss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_gens_ss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agccli.dir/agccli.cpp.o"
+  "CMakeFiles/agccli.dir/agccli.cpp.o.d"
+  "agccli"
+  "agccli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agccli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

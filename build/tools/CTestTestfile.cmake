@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_color "/root/repo/build/tools/agccli" "color" "--graph" "regular:200,8,1" "--algo" "exact")
+set_tests_properties(cli_color PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_edges "/root/repo/build/tools/agccli" "edges" "--graph" "grid:8,10")
+set_tests_properties(cli_edges PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_mis "/root/repo/build/tools/agccli" "mis" "--graph" "gnp:100,0.06,2")
+set_tests_properties(cli_mis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_selfstab "/root/repo/build/tools/agccli" "selfstab" "--graph" "regular:100,6,3" "--exact" "--epochs" "2")
+set_tests_properties(cli_selfstab PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
