@@ -22,17 +22,22 @@ using namespace agc;
 
 namespace {
 
+/// Execution backend from --threads/AGC_THREADS (null = sequential engine).
+std::shared_ptr<runtime::RoundExecutor> g_exec;
+
 void delta_sweep() {
   std::printf("-- E1a: AG rounds vs Delta (random regular, n=1500) --\n\n");
   benchutil::Table t({"Delta", "q", "AG rounds", "bound q", "colors out",
                       "proper each round"});
   for (std::size_t delta : {4, 8, 16, 32, 64, 128}) {
     const auto g = graph::random_regular(1500, delta, 99 + delta);
+    runtime::IterativeOptions io;
+    io.executor = g_exec;
     auto lin = coloring::linial_color(g, coloring::identity_coloring(g.n()), g.n(),
-                                      delta);
+                                      delta, io);
     const std::uint64_t palette = graph::max_color(lin.colors) + 1;
     const std::uint64_t q = coloring::ag_modulus(delta, palette);
-    auto ag = coloring::additive_group_color(g, std::move(lin.colors), delta);
+    auto ag = coloring::additive_group_color(g, std::move(lin.colors), delta, io);
     t.add_row({benchutil::num(std::uint64_t{delta}), benchutil::num(q),
                benchutil::num(std::uint64_t{ag.rounds}), benchutil::num(q),
                benchutil::num(std::uint64_t{graph::palette_size(ag.colors)}),
@@ -48,6 +53,7 @@ void logstar_sweep() {
   const auto g = graph::random_regular(800, 16, 7);
   for (std::uint64_t f : {1ULL, 1ULL << 8, 1ULL << 24, 1ULL << 50}) {
     coloring::PipelineOptions opts;
+    opts.iter.executor = g_exec;
     opts.id_space_factor = f;
     const auto rep = coloring::color_delta_plus_one(g, opts);
     t.add_row({benchutil::num(f),
@@ -71,6 +77,7 @@ void three_ag() {
     auto init = coloring::identity_coloring(g.n());
     coloring::ThreeAgRule rule(p);
     runtime::IterativeOptions io;
+    io.executor = g_exec;
     io.max_rounds = 2 * p + 2;
     auto res = runtime::run_locally_iterative(g, std::move(init), rule, io);
     t.add_row({benchutil::num(std::uint64_t{delta}), benchutil::num(p),
@@ -90,7 +97,9 @@ void mixed_exact() {
                       "proper each round"});
   for (std::size_t delta : {4, 8, 16, 32, 64}) {
     const auto g = graph::random_regular(1200, delta, 17 + delta);
-    const auto rep = coloring::color_delta_plus_one_exact(g);
+    coloring::PipelineOptions popts;
+    popts.iter.executor = g_exec;
+    const auto rep = coloring::color_delta_plus_one_exact(g, popts);
     coloring::MixedRule rule(delta, /*palette=*/2);  // only for round_bound()
     t.add_row({benchutil::num(std::uint64_t{delta}),
                benchutil::num(std::uint64_t{rep.rounds_core}),
@@ -115,6 +124,7 @@ void composite_ablation() {
   for (std::uint64_t q : {43ULL, 44ULL, 45ULL, 47ULL}) {  // 44 = 4*11, 45 = 9*5
     coloring::AgRule rule(q);
     runtime::IterativeOptions io;
+    io.executor = g_exec;
     io.max_rounds = 3 * q;
     auto res = runtime::run_locally_iterative(g, lin.colors, rule, io);
     t.add_row({benchutil::num(std::uint64_t{delta}), benchutil::num(q),
@@ -127,8 +137,14 @@ void composite_ablation() {
 
 }  // namespace
 
-int main() {
-  std::printf("== E1/E9: Additive-Group core (Sections 3 and 7) ==\n\n");
+int main(int argc, char** argv) {
+  const auto opts = benchutil::parse_options(argc, argv);
+  g_exec = opts.executor();
+  if (!opts.json_path.empty()) {
+    std::fprintf(stderr, "note: --json is emitted by bench_table1 only\n");
+  }
+  std::printf("== E1/E9: Additive-Group core (Sections 3 and 7, threads=%zu) ==\n\n",
+              opts.threads);
   delta_sweep();
   logstar_sweep();
   three_ag();

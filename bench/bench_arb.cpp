@@ -17,6 +17,9 @@ using namespace agc;
 
 namespace {
 
+/// Execution backend from --threads/AGC_THREADS (null = sequential engine).
+std::shared_ptr<runtime::RoundExecutor> g_exec;
+
 void p_sweep() {
   std::printf("-- E6a: ArbAG p-sweep at Delta=64 (n=900) — rounds ~ Delta/p, "
               "classes ~ Delta/p, arbdefect <= p + seed defect --\n\n");
@@ -24,7 +27,7 @@ void p_sweep() {
                       "arbdefect witness", "p+seed defect", "converged"});
   const auto g = graph::random_regular(900, 64, 21);
   for (std::size_t p : {1, 2, 4, 8, 16, 32}) {
-    const auto arb = arb::arbdefective_color(g, p, g.n());
+    const auto arb = arb::arbdefective_color(g, p, g.n(), g_exec);
     t.add_row({benchutil::num(std::uint64_t{p}),
                benchutil::num(std::uint64_t{arb.rounds}),
                benchutil::num(std::uint64_t{arb.window}),
@@ -44,7 +47,7 @@ void delta_sweep() {
     const auto g = graph::random_regular(900, delta, delta);
     std::size_t p = 1;
     while ((p + 1) * (p + 1) <= delta) ++p;
-    const auto arb = arb::arbdefective_color(g, p, g.n());
+    const auto arb = arb::arbdefective_color(g, p, g.n(), g_exec);
     t.add_row({benchutil::num(std::uint64_t{delta}), benchutil::num(std::uint64_t{p}),
                benchutil::num(std::uint64_t{arb.rounds}),
                benchutil::num(std::uint64_t{arb.window}),
@@ -61,9 +64,11 @@ void eps_and_sublinear() {
                       "AG pipeline rounds", "all proper"});
   for (std::size_t delta : {16, 32, 64, 128}) {
     const auto g = graph::random_regular(900, delta, 2 * delta + 1);
-    const auto eps = arb::eps_delta_coloring(g, 0.5);
-    const auto sub = arb::sublinear_delta_plus_one(g);
-    const auto ag = coloring::color_delta_plus_one(g);
+    const auto eps = arb::eps_delta_coloring(g, 0.5, g.n(), g_exec);
+    const auto sub = arb::sublinear_delta_plus_one(g, g.n(), g_exec);
+    coloring::PipelineOptions popts;
+    popts.iter.executor = g_exec;
+    const auto ag = coloring::color_delta_plus_one(g, popts);
     t.add_row({benchutil::num(std::uint64_t{delta}),
                benchutil::num(std::uint64_t{eps.rounds}),
                benchutil::num(std::uint64_t{eps.palette}),
@@ -84,10 +89,12 @@ void threshold_ablation() {
                       "(threshold sqrt(D))"});
   for (std::size_t delta : {16, 64, 144}) {
     const auto g = graph::random_regular(900, delta, delta + 5);
-    const auto ag = coloring::color_o_delta(g);
+    coloring::PipelineOptions popts;
+    popts.iter.executor = g_exec;
+    const auto ag = coloring::color_o_delta(g, popts);
     std::size_t p = 1;
     while ((p + 1) * (p + 1) <= delta) ++p;
-    const auto arb = arb::arbdefective_color(g, p, g.n());
+    const auto arb = arb::arbdefective_color(g, p, g.n(), g_exec);
     t.add_row({benchutil::num(std::uint64_t{delta}),
                benchutil::num(std::uint64_t{ag.total_rounds}),
                benchutil::num(std::uint64_t{arb.rounds})});
@@ -97,9 +104,14 @@ void threshold_ablation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = benchutil::parse_options(argc, argv);
+  g_exec = opts.executor();
+  if (!opts.json_path.empty()) {
+    std::fprintf(stderr, "note: --json is emitted by bench_table1 only\n");
+  }
   std::printf("== E6/E7: arbdefective coloring and sublinear-in-Delta proper "
-              "coloring (Section 6) ==\n\n");
+              "coloring (Section 6, threads=%zu) ==\n\n", opts.threads);
   p_sweep();
   delta_sweep();
   eps_and_sublinear();

@@ -19,13 +19,18 @@ using namespace agc;
 
 namespace {
 
+/// Execution backend from --threads/AGC_THREADS (null = sequential engine).
+std::shared_ptr<runtime::RoundExecutor> g_exec;
+
 void congest_sweep() {
   std::printf("-- E5a: CONGEST rounds and bits/edge vs Delta (n=700) --\n\n");
   benchutil::Table t({"Delta", "rounds", "palette", "=2D-1", "bits/edge avg",
                       "bits/edge max", "KW-on-L(G) rounds", "proper"});
   for (std::size_t delta : {4, 8, 16, 32, 64}) {
     const auto g = graph::random_regular(400, delta, 11 * delta);
-    const auto res = edge::color_edges_distributed(g);
+    edge::EdgeColoringOptions eopts;
+    eopts.executor = g_exec;
+    const auto res = edge::color_edges_distributed(g, eopts);
 
     // Baseline: KW vertex coloring of the line graph; the x2 accounts for the
     // standard simulation overhead of one L(G) round per two G rounds.  The
@@ -34,7 +39,9 @@ void congest_sweep() {
     std::string kw_rounds = "-";
     if (delta <= 16) {
       const auto lg = graph::line_graph(g);
-      const auto kw = coloring::color_kuhn_wattenhofer(lg.graph);
+      coloring::PipelineOptions popts;
+      popts.iter.executor = g_exec;
+      const auto kw = coloring::color_kuhn_wattenhofer(lg.graph, popts);
       kw_rounds = benchutil::num(std::uint64_t{2 * kw.total_rounds});
     }
 
@@ -55,6 +62,7 @@ void bit_round_sweep() {
   benchutil::Table t({"n", "Delta", "bit rounds", "schedule bits (worst case)",
                       "palette", "proper"});
   edge::EdgeColoringOptions opts;
+  opts.executor = g_exec;
   opts.bit_round = true;
   auto row = [&](std::size_t n, std::size_t delta) {
     const auto g = graph::random_regular(n, delta, n + delta);
@@ -79,9 +87,12 @@ void stage_ablation() {
   for (std::size_t delta : {8, 16, 32}) {
     const auto g = graph::random_regular(500, delta, delta + 1);
     edge::EdgeColoringOptions coarse;
+    coarse.executor = g_exec;
     coarse.exact = false;
     const auto a = edge::color_edges_distributed(g, coarse);
-    const auto b = edge::color_edges_distributed(g);
+    edge::EdgeColoringOptions fine;
+    fine.executor = g_exec;
+    const auto b = edge::color_edges_distributed(g, fine);
     t.add_row({benchutil::num(std::uint64_t{delta}),
                benchutil::num(std::uint64_t{a.rounds}),
                benchutil::num(std::uint64_t{a.palette}),
@@ -93,9 +104,14 @@ void stage_ablation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = benchutil::parse_options(argc, argv);
+  g_exec = opts.executor();
+  if (!opts.json_path.empty()) {
+    std::fprintf(stderr, "note: --json is emitted by bench_table1 only\n");
+  }
   std::printf("== E5: (2Delta-1)-edge-coloring, CONGEST and Bit-Round "
-              "(Section 5) ==\n\n");
+              "(Section 5, threads=%zu) ==\n\n", opts.threads);
   congest_sweep();
   bit_round_sweep();
   stage_ablation();

@@ -9,6 +9,7 @@
 #include "agc/graph/generators.hpp"
 #include "agc/math/polynomial.hpp"
 #include "agc/math/primes.hpp"
+#include "agc/exec/executor.hpp"
 #include "agc/runtime/iterative.hpp"
 
 using namespace agc;
@@ -79,6 +80,34 @@ void BM_EngineRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8 * g.n());
 }
 BENCHMARK(BM_EngineRound)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Same engine rounds on the exec subsystem's thread pool; range(1) is the
+// thread count (0 = hardware concurrency, honoring AGC_THREADS semantics).
+void BM_EngineRoundThreaded(benchmark::State& state) {
+  const auto delta = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto g = graph::random_regular(1000, delta, 3);
+  coloring::AgRule rule(coloring::ag_modulus(delta, 1000));
+  const auto executor = exec::make_executor(threads);
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::IterativeOptions io;
+    io.max_rounds = 8;
+    io.check_proper_each_round = false;
+    io.executor = executor;
+    auto init = coloring::identity_coloring(g.n());
+    state.ResumeTiming();
+    auto res = runtime::run_locally_iterative(g, std::move(init), rule, io);
+    benchmark::DoNotOptimize(res.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * g.n());
+  state.counters["threads"] = static_cast<double>(executor->threads());
+}
+BENCHMARK(BM_EngineRoundThreaded)
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 0})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LinialScheduleBuild(benchmark::State& state) {
   for (auto _ : state) {

@@ -25,10 +25,15 @@ using selfstab::SsConfig;
 
 namespace {
 
+/// Execution backend from --threads/AGC_THREADS (null = sequential engine).
+std::shared_ptr<runtime::RoundExecutor> g_exec;
+
 runtime::Engine make_engine(const graph::Graph& g, std::size_t delta_bound) {
   runtime::EngineOptions opts;
   opts.delta_bound = delta_bound;
-  return runtime::Engine(g, runtime::Transport(runtime::Model::LOCAL), opts);
+  runtime::Engine engine(g, runtime::Transport(runtime::Model::LOCAL), opts);
+  engine.set_executor(g_exec);
+  return engine;
 }
 
 void fault_batch_sweep() {
@@ -167,8 +172,14 @@ void line_graph_tasks() {
 
 }  // namespace
 
-int main() {
-  std::printf("== E2/E3/E4: fully-dynamic self-stabilization (Section 4) ==\n\n");
+int main(int argc, char** argv) {
+  const auto opts = benchutil::parse_options(argc, argv);
+  g_exec = opts.executor();
+  if (!opts.json_path.empty()) {
+    std::fprintf(stderr, "note: --json is emitted by bench_table1 only\n");
+  }
+  std::printf("== E2/E3/E4: fully-dynamic self-stabilization (Section 4, "
+              "threads=%zu) ==\n\n", opts.threads);
   fault_batch_sweep();
   delta_sweep();
   adjustment_radius();

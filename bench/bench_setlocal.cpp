@@ -50,9 +50,14 @@ std::vector<coloring::Color> seed_coloring(const graph::Graph& g,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bopts = benchutil::parse_options(argc, argv);
+  const auto executor = bopts.executor();
+  if (!bopts.json_path.empty()) {
+    std::fprintf(stderr, "note: --json is emitted by bench_table1 only\n");
+  }
   std::printf("== E8: SET-LOCAL model — Delta+1 from a given O(Delta^2)-"
-              "coloring (n=1000) ==\n\n");
+              "coloring (n=1000, threads=%zu) ==\n\n", bopts.threads);
   benchutil::Table t({"Delta", "AG+reduce (ours)", "mixed exact (ours)",
                       "KW (prior best)", "palette", "proper"});
   for (std::size_t delta : {8, 16, 32, 64, 128}) {
@@ -62,6 +67,7 @@ int main() {
 
     runtime::IterativeOptions io;
     io.model = runtime::Model::SET_LOCAL;
+    io.executor = executor;
 
     auto ag = coloring::additive_group_color(g, seed, delta, io);
     auto ours = coloring::reduce_colors(g, std::move(ag.colors), delta + 1, io);

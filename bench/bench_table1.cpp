@@ -10,6 +10,11 @@
 // The shape to check: the GPS column grows quadratically in Delta, KW grows
 // Delta*log(Delta), both AG columns grow linearly; every run ends at exactly
 // Delta+1 colors with every intermediate coloring proper.
+//
+// Flags: --threads N runs the vertex programs on the exec subsystem's
+// N-thread backend (results are bit-identical to sequential; when N > 1 the
+// sweep is also rerun on 1 thread to report the wall-clock speedup), and
+// --json FILE emits the per-row rounds/messages/bits + wall time.
 
 #include <cstdio>
 
@@ -21,35 +26,102 @@
 #include "agc/graph/generators.hpp"
 #include "bench_util.hpp"
 
-int main() {
+namespace {
+
+using namespace agc;
+
+struct RowResult {
+  coloring::PipelineReport gps, kw, ag, ex;
+  double wall_s = 0;
+};
+
+RowResult run_row(const graph::Graph& g,
+                  const std::shared_ptr<runtime::RoundExecutor>& executor) {
+  coloring::PipelineOptions opts;
+  opts.iter.executor = executor;
+  RowResult r;
+  benchutil::WallClock clock;
+  r.gps = coloring::color_linial_greedy(g, opts);
+  r.kw = coloring::color_kuhn_wattenhofer(g, opts);
+  r.ag = coloring::color_delta_plus_one(g, opts);
+  r.ex = coloring::color_delta_plus_one_exact(g, opts);
+  r.wall_s = clock.seconds();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace agc;
+  const auto opts = benchutil::parse_options(argc, argv);
+  const auto executor = opts.executor();
   std::printf("== T1: locally-iterative (Delta+1)-coloring round counts "
-              "(random Delta-regular, n=1500) ==\n\n");
+              "(random Delta-regular, n=1500, threads=%zu) ==\n\n",
+              opts.threads);
 
   benchutil::Table table({"Delta", "GPS O(D^2)", "KW O(D logD)", "AG (ours)",
-                          "AG exact (ours)", "palette", "all proper/rnd"});
+                          "AG exact (ours)", "palette", "all proper/rnd",
+                          "wall s", "speedup"});
+  benchutil::JsonEmitter json("table1", opts.threads);
+  double wall_total = 0, wall_seq_total = 0;
 
   for (std::size_t delta : {4, 8, 16, 32, 64, 96, 128}) {
     const auto g = graph::random_regular(1500, delta, 1234 + delta);
-    const auto gps = coloring::color_linial_greedy(g);
-    const auto kw = coloring::color_kuhn_wattenhofer(g);
-    const auto ag = coloring::color_delta_plus_one(g);
-    const auto ex = coloring::color_delta_plus_one_exact(g);
+    const RowResult r = run_row(g, executor);
+    wall_total += r.wall_s;
 
-    const bool ok = gps.converged && kw.converged && ag.converged && ex.converged &&
-                    gps.proper && kw.proper && ag.proper && ex.proper;
-    const bool li = gps.proper_each_round && kw.proper_each_round &&
-                    ag.proper_each_round && ex.proper_each_round;
+    // Sequential baseline for the speedup column (and a live determinism
+    // check: the parallel run must match it bit for bit).
+    double speedup = 1.0;
+    std::string speedup_cell = "-";
+    if (opts.threads > 1) {
+      const RowResult seq = run_row(g, nullptr);
+      wall_seq_total += seq.wall_s;
+      speedup = r.wall_s > 0 ? seq.wall_s / r.wall_s : 0.0;
+      speedup_cell = benchutil::num(speedup) + "x";
+      if (seq.ag.colors != r.ag.colors ||
+          seq.ag.total_rounds != r.ag.total_rounds ||
+          seq.ag.metrics.total_bits != r.ag.metrics.total_bits) {
+        std::printf("DETERMINISM VIOLATION at Delta=%zu\n", delta);
+        return 1;
+      }
+    }
+
+    const bool ok = r.gps.converged && r.kw.converged && r.ag.converged &&
+                    r.ex.converged && r.gps.proper && r.kw.proper &&
+                    r.ag.proper && r.ex.proper;
+    const bool li = r.gps.proper_each_round && r.kw.proper_each_round &&
+                    r.ag.proper_each_round && r.ex.proper_each_round;
     table.add_row({benchutil::num(std::uint64_t{delta}),
-                   benchutil::num(std::uint64_t{gps.total_rounds}),
-                   benchutil::num(std::uint64_t{kw.total_rounds}),
-                   benchutil::num(std::uint64_t{ag.total_rounds}),
-                   benchutil::num(std::uint64_t{ex.total_rounds}),
-                   benchutil::num(std::uint64_t{ag.palette}),
-                   ok && li ? "yes" : "NO"});
+                   benchutil::num(std::uint64_t{r.gps.total_rounds}),
+                   benchutil::num(std::uint64_t{r.kw.total_rounds}),
+                   benchutil::num(std::uint64_t{r.ag.total_rounds}),
+                   benchutil::num(std::uint64_t{r.ex.total_rounds}),
+                   benchutil::num(std::uint64_t{r.ag.palette}),
+                   ok && li ? "yes" : "NO", benchutil::num(r.wall_s),
+                   speedup_cell});
+    json.row()
+        .kv("delta", std::uint64_t{delta})
+        .kv("rounds_gps", std::uint64_t{r.gps.total_rounds})
+        .kv("rounds_kw", std::uint64_t{r.kw.total_rounds})
+        .kv("rounds_ag", std::uint64_t{r.ag.total_rounds})
+        .kv("rounds_ag_exact", std::uint64_t{r.ex.total_rounds})
+        .kv("palette", std::uint64_t{r.ag.palette})
+        .kv("messages_ag", r.ag.metrics.messages)
+        .kv("total_bits_ag", r.ag.metrics.total_bits)
+        .kv("max_edge_bits_ag", r.ag.metrics.max_edge_bits)
+        .kv("wall_s", r.wall_s)
+        .kv("speedup_vs_1_thread", speedup)
+        .kv("ok", std::string(ok && li ? "yes" : "NO"));
   }
   table.print();
 
+  if (opts.threads > 1) {
+    std::printf("T1 wall: %.2fs on %zu threads vs %.2fs sequential — "
+                "overall speedup %.2fx (results bit-identical)\n\n",
+                wall_total, opts.threads, wall_seq_total,
+                wall_total > 0 ? wall_seq_total / wall_total : 0.0);
+  }
   std::printf("Shape check: GPS/AG ratio should grow ~Delta, KW/AG ~log Delta.\n\n");
 
   // The Szegedy-Vishwanathan setting proper: reduce a SATURATED, adversarially
@@ -61,6 +133,8 @@ int main() {
               "(random regular, n=3000) ==\n\n");
   benchutil::Table hard({"Delta", "seed colors", "greedy O(D^2)", "KW O(D logD)",
                          "AG+greedy (ours)", "AG exact (ours)", "all ok"});
+  runtime::IterativeOptions iter;
+  iter.executor = executor;
   for (std::size_t delta : {8, 16, 32, 64}) {
     const auto g = graph::random_regular(3000, delta, 5 * delta + 1);
     // Hash-spread proper seed over the whole q^2 palette.
@@ -81,13 +155,13 @@ int main() {
       }
     }
 
-    const auto greedy = coloring::reduce_colors(g, seed, delta + 1);
-    const auto kw = coloring::kuhn_wattenhofer_reduce(g, seed, delta);
-    auto ag = coloring::additive_group_color(g, seed, delta);
+    const auto greedy = coloring::reduce_colors(g, seed, delta + 1, iter);
+    const auto kw = coloring::kuhn_wattenhofer_reduce(g, seed, delta, iter);
+    auto ag = coloring::additive_group_color(g, seed, delta, iter);
     const std::size_t ag_rounds = ag.rounds;
     const auto ag_tail =
-        coloring::reduce_colors(g, std::move(ag.colors), delta + 1);
-    const auto exact = coloring::exact_delta_plus_one(g, seed, delta);
+        coloring::reduce_colors(g, std::move(ag.colors), delta + 1, iter);
+    const auto exact = coloring::exact_delta_plus_one(g, seed, delta, iter);
 
     const bool ok = greedy.converged && kw.converged && ag_tail.converged &&
                     exact.converged &&
@@ -104,5 +178,6 @@ int main() {
                   ok ? "yes" : "NO"});
   }
   hard.print();
+  json.write(opts.json_path);
   return 0;
 }

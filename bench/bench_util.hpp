@@ -1,15 +1,124 @@
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <utility>
 #include <string>
 #include <vector>
 
-/// Minimal fixed-width table printer shared by the experiment harnesses.
+#include "agc/exec/executor.hpp"
+
+/// Minimal fixed-width table printer shared by the experiment harnesses,
+/// plus the shared bench flags (--threads/AGC_THREADS, --json) and a JSON
+/// emitter so the perf trajectory is machine-readable (BENCH_*.json).
 /// Each bench binary regenerates one paper artifact (see DESIGN.md section 3)
 /// and prints it as rows; EXPERIMENTS.md records the paper-vs-measured
 /// comparison.
 
 namespace benchutil {
+
+/// Shared command-line surface of every bench binary:
+///   --threads N   run vertex programs on N threads (0 = hardware); defaults
+///                 to the AGC_THREADS environment variable, else 1
+///   --json FILE   also emit the measured rows as JSON
+struct Options {
+  std::size_t threads = 1;
+  std::string json_path;
+
+  /// The execution backend the flags ask for (sequential for threads <= 1).
+  [[nodiscard]] std::shared_ptr<agc::runtime::RoundExecutor> executor() const {
+    return agc::exec::make_executor(threads);
+  }
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options o;
+  o.threads = agc::exec::default_threads();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      o.threads = std::strtoull(argv[++i], nullptr, 10);
+      // --threads 0: all hardware threads.
+      if (o.threads == 0) o.threads = agc::exec::make_executor(0)->threads();
+    } else if (arg == "--json" && i + 1 < argc) {
+      o.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "warning: ignoring unknown bench flag '%s'\n",
+                   arg.c_str());
+    }
+  }
+  return o;
+}
+
+/// Wall-clock stopwatch for speedup reporting.
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Collects rows of key/value pairs and writes them as a JSON document:
+///   {"bench": ..., "threads": N, "rows": [{...}, ...]}
+class JsonEmitter {
+ public:
+  JsonEmitter(std::string bench, std::size_t threads)
+      : bench_(std::move(bench)), threads_(threads) {}
+
+  JsonEmitter& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonEmitter& kv(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonEmitter& kv(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    return raw(key, buf);
+  }
+  JsonEmitter& kv(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + v + "\"");
+  }
+
+  /// No-op when `path` is empty (no --json given).
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    out << "{\"bench\": \"" << bench_ << "\", \"threads\": " << threads_
+        << ", \"rows\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << "  {";
+      for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+        out << (f == 0 ? "" : ", ") << "\"" << rows_[r][f].first
+            << "\": " << rows_[r][f].second;
+      }
+      out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "]}\n";
+    std::printf("wrote %zu rows to %s\n", rows_.size(), path.c_str());
+  }
+
+ private:
+  JsonEmitter& raw(const std::string& key, std::string value) {
+    rows_.back().emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  std::string bench_;
+  std::size_t threads_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 class Table {
  public:

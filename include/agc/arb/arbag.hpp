@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "agc/arb/defective.hpp"
@@ -65,10 +66,11 @@ struct ArbdefectiveResult {
   bool converged = false;
 };
 
-/// Compute an O(p)-arbdefective O(Delta/p)-coloring of g.
-[[nodiscard]] ArbdefectiveResult arbdefective_color(const graph::Graph& g,
-                                                    std::size_t p,
-                                                    std::uint64_t id_space);
+/// Compute an O(p)-arbdefective O(Delta/p)-coloring of g.  `executor` picks
+/// the engine backend (null = sequential; results are identical either way).
+[[nodiscard]] ArbdefectiveResult arbdefective_color(
+    const graph::Graph& g, std::size_t p, std::uint64_t id_space,
+    std::shared_ptr<runtime::RoundExecutor> executor = nullptr);
 
 /// The witness orientation of Lemma 6.2: monochromatic edges point toward
 /// the endpoint with the lexicographically smaller (finalize_round, id); its

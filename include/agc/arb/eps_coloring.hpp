@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "agc/arb/arbag.hpp"
@@ -36,12 +37,14 @@ struct ClasswiseResult {
 };
 
 /// Proper coloring with palette floor((1+eps)*Delta)+1, eps >= 0.
-[[nodiscard]] ClasswiseResult eps_delta_coloring(const graph::Graph& g, double eps,
-                                                 std::uint64_t id_space = 0);
+[[nodiscard]] ClasswiseResult eps_delta_coloring(
+    const graph::Graph& g, double eps, std::uint64_t id_space = 0,
+    std::shared_ptr<runtime::RoundExecutor> executor = nullptr);
 
 /// Proper (Delta+1)-coloring via the same machinery with zero palette slack
 /// and beta = sqrt(Delta / log Delta) (the Theorem 6.4 parameterization).
-[[nodiscard]] ClasswiseResult sublinear_delta_plus_one(const graph::Graph& g,
-                                                       std::uint64_t id_space = 0);
+[[nodiscard]] ClasswiseResult sublinear_delta_plus_one(
+    const graph::Graph& g, std::uint64_t id_space = 0,
+    std::shared_ptr<runtime::RoundExecutor> executor = nullptr);
 
 }  // namespace agc::arb

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -120,6 +121,8 @@ struct EdgeColoringOptions {
   bool exact = true;      ///< finish at exactly 2*Delta-1 colors
   bool bit_round = false; ///< Bit-Round model: 1 bit per edge per round
   std::uint32_t congest_bits = 64;
+  /// Execution backend for the engine (null = sequential; see src/exec).
+  std::shared_ptr<runtime::RoundExecutor> executor;
 };
 
 struct EdgeColoringResult {

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "agc/exec/thread_pool.hpp"
+#include "agc/runtime/round.hpp"
+
+/// \file executor.hpp
+/// The shard-deterministic parallel backend of the round engine.
+///
+/// ParallelExecutor partitions the vertex set into size() contiguous shards
+/// and runs each round's send, deliver, and receive phases shard-per-thread
+/// on a fixed ThreadPool, with a barrier between phases.  Delivery is
+/// sharded by receiver and per-shard accounting is reduced in shard order
+/// (RoundContext::reduce), so final colorings, round counts, messages,
+/// total_bits and max_edge_bits are bit-identical to the sequential engine
+/// for every thread count — the contract docs/EXEC.md spells out and
+/// tests/test_exec.cpp pins.
+
+namespace agc::exec {
+
+class ParallelExecutor final : public runtime::RoundExecutor {
+ public:
+  /// `threads` >= 2 OS threads (use make_executor for the general case).
+  explicit ParallelExecutor(std::size_t threads) : pool_(threads) {}
+
+  [[nodiscard]] std::size_t threads() const noexcept override {
+    return pool_.size();
+  }
+
+  void round(runtime::RoundContext& ctx, runtime::Metrics& total) override;
+
+ private:
+  ThreadPool pool_;
+};
+
+/// Shard s of [0, n) split into `shards` contiguous, balanced ranges.
+[[nodiscard]] inline std::pair<graph::Vertex, graph::Vertex> shard_range(
+    std::size_t n, std::size_t shards, std::size_t s) noexcept {
+  return {static_cast<graph::Vertex>(n * s / shards),
+          static_cast<graph::Vertex>(n * (s + 1) / shards)};
+}
+
+/// Backend factory: 0 means "hardware concurrency"; 1 yields the sequential
+/// backend; anything larger a ParallelExecutor with that many threads.
+[[nodiscard]] std::shared_ptr<runtime::RoundExecutor> make_executor(
+    std::size_t threads);
+
+/// The fleet-wide default thread count: the AGC_THREADS environment variable
+/// if set (0 = hardware concurrency), else 1.  Benches and the CLI use this
+/// as the fallback when --threads is not given.
+[[nodiscard]] std::size_t default_threads();
+
+}  // namespace agc::exec

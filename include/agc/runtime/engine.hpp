@@ -3,7 +3,6 @@
 #include <functional>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "agc/graph/graph.hpp"
@@ -82,12 +81,24 @@ struct EngineOptions {
   std::uint64_t n_bound = 0;
 };
 
+class RoundExecutor;  // round.hpp — the engine's execution backend
+
 class Engine {
  public:
   Engine(graph::Graph g, Transport transport, EngineOptions opts = {});
 
   /// Create a program for every vertex.  Must be called before stepping.
   void install(const ProgramFactory& factory);
+
+  /// Swap the execution backend (null = built-in sequential).  The exec
+  /// subsystem's parallel backend is bit-identical to sequential for every
+  /// thread count (see docs/EXEC.md), so this only changes wall-clock time.
+  void set_executor(std::shared_ptr<RoundExecutor> executor) {
+    executor_ = std::move(executor);
+  }
+  [[nodiscard]] const std::shared_ptr<RoundExecutor>& executor() const noexcept {
+    return executor_;
+  }
 
   /// Run one synchronous round.
   void step();
@@ -144,8 +155,8 @@ class Engine {
   std::vector<std::unique_ptr<VertexProgram>> programs_;
   std::vector<VertexEnv> envs_;
   Metrics metrics_;
-  /// Cumulative bits per directed edge, keyed (u << 32) | v.
-  std::unordered_map<std::uint64_t, std::uint64_t> edge_bits_;
+  EdgeBitLedger edge_bits_;
+  std::shared_ptr<RoundExecutor> executor_;
   std::function<void(const Engine&, std::size_t)> observer_;
 };
 

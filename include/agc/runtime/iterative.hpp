@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -54,6 +55,10 @@ struct IterativeOptions {
   /// Observer invoked after every round with the current coloring (round 0 =
   /// the initial coloring, before any step).  Used by the trace recorder.
   std::function<void(std::size_t round, std::span<const Color>)> on_round;
+  /// Execution backend for the underlying engine (null = sequential).  The
+  /// exec subsystem's sharded backend yields bit-identical results for any
+  /// thread count, so this only affects wall-clock time.
+  std::shared_ptr<RoundExecutor> executor;
 };
 
 struct IterativeResult {

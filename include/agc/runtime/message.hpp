@@ -38,6 +38,7 @@ struct Word {
 /// vertex's (sorted) neighbor list.
 class Outbox {
  public:
+  Outbox() = default;  ///< zero ports; placeholder slot in pre-sized buffers
   explicit Outbox(std::size_t ports) : slots_(ports) {}
 
   /// Append one word to the message for the neighbor at `port`.

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "agc/runtime/engine.hpp"
+
+/// \file round.hpp
+/// One synchronous round, decomposed into shardable phases.
+///
+/// The engine delegates each round to a RoundExecutor.  Both backends — the
+/// in-tree SequentialExecutor and the thread-pool ParallelExecutor in
+/// `src/exec` — drive the *same* RoundContext phase methods, so validation
+/// and accounting live in exactly one place.
+///
+/// Shard-determinism contract (see docs/EXEC.md):
+///   * Vertices are partitioned into contiguous shards.  send() and
+///     receive() touch only the programs/envs/outboxes/inboxes of their own
+///     shard, so concurrent shards never alias.
+///   * deliver() is sharded by *receiver*: shard [b, e) pulls, for each of
+///     its receivers v in ascending order and each port p of v in ascending
+///     order, the message its neighbor queued for v.  An inbox slot is
+///     therefore filled by exactly one shard, in exactly the order the
+///     sequential engine fills it — delivery is bit-identical for every
+///     shard count, including 1.
+///   * Accounting is folded per shard into a local Metrics and reduced in
+///     shard order (Metrics::merge: sums for counters, max for
+///     max_edge_bits), so metrics are bit-identical too.
+
+namespace agc::runtime {
+
+/// Recompute the ROM view of `v` for round `round`.  Shared by the engine's
+/// topology-change hooks and the per-round send phase.
+void refresh_vertex_env(const graph::Graph& g, const EngineOptions& opts,
+                        std::uint64_t round, graph::Vertex v, VertexEnv& env);
+
+/// All state one round touches, plus the per-round mailboxes.  Phase methods
+/// accept a vertex range so executors can shard them; ranges passed to one
+/// phase must partition [0, n) between its barriers.
+class RoundContext {
+ public:
+  RoundContext(const graph::Graph& graph, const Transport& transport,
+               const EngineOptions& opts,
+               std::vector<std::unique_ptr<VertexProgram>>& programs,
+               std::vector<VertexEnv>& envs, EdgeBitLedger& ledger,
+               std::uint64_t round);
+
+  [[nodiscard]] std::size_t n() const noexcept { return graph_.n(); }
+
+  /// Phase 1: refresh envs, collect and validate outgoing messages of
+  /// senders [begin, end).
+  void send(graph::Vertex begin, graph::Vertex end);
+
+  /// Phase 2: pull every message addressed to receivers [begin, end) into
+  /// their inboxes, folding accounting into `shard`.  Requires send() to
+  /// have completed for ALL vertices (the executor's barrier).
+  void deliver(graph::Vertex begin, graph::Vertex end, Metrics& shard);
+
+  /// Fold per-shard deliver() accounting into `total`, in shard order.
+  static void reduce(std::span<const Metrics> shards, Metrics& total);
+
+  /// Phase 3: state updates of vertices [begin, end).  Requires deliver()
+  /// to have completed for the same range (receive only reads own inboxes,
+  /// so a barrier per shard would suffice; executors use a global one).
+  void receive(graph::Vertex begin, graph::Vertex end);
+
+ private:
+  const graph::Graph& graph_;
+  const Transport& transport_;
+  const EngineOptions& opts_;
+  std::vector<std::unique_ptr<VertexProgram>>& programs_;
+  std::vector<VertexEnv>& envs_;
+  EdgeBitLedger& ledger_;
+  std::uint64_t round_;
+  std::vector<Outbox> outboxes_;
+  std::vector<Inbox> inboxes_;
+};
+
+/// Execution backend interface: runs the three phases of one round with
+/// whatever parallelism it owns, honoring the barriers between phases.
+class RoundExecutor {
+ public:
+  virtual ~RoundExecutor() = default;
+
+  /// OS threads this executor runs vertex programs on (1 = sequential).
+  [[nodiscard]] virtual std::size_t threads() const noexcept = 0;
+
+  /// Execute one full round, folding accounting into `total`.
+  virtual void round(RoundContext& ctx, Metrics& total) = 0;
+};
+
+/// The default single-thread backend: one shard spanning [0, n).
+class SequentialExecutor final : public RoundExecutor {
+ public:
+  [[nodiscard]] std::size_t threads() const noexcept override { return 1; }
+  void round(RoundContext& ctx, Metrics& total) override;
+};
+
+}  // namespace agc::runtime

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "agc/math/primes.hpp"
 
@@ -23,8 +24,9 @@ Color ArbAgRule::step(Color own, std::span<const Color> neighbors) const {
   return pack(psi, a, (b + a) % q_, q_);
 }
 
-ArbdefectiveResult arbdefective_color(const graph::Graph& g, std::size_t p,
-                                      std::uint64_t id_space) {
+ArbdefectiveResult arbdefective_color(
+    const graph::Graph& g, std::size_t p, std::uint64_t id_space,
+    std::shared_ptr<runtime::RoundExecutor> executor) {
   ArbdefectiveResult result;
   const std::size_t n = g.n();
   const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
@@ -61,6 +63,7 @@ ArbdefectiveResult arbdefective_color(const graph::Graph& g, std::size_t p,
   // recording each vertex's freeze round for the Lemma 6.2 orientation.
   result.finalize_round.assign(n, 0);
   runtime::IterativeOptions io;
+  io.executor = std::move(executor);
   io.check_proper_each_round = false;  // ArbAG maintains arbdefective colorings
   io.max_rounds = window;
   io.on_round = [&](std::size_t round, std::span<const Color> colors) {

@@ -1,5 +1,7 @@
 #include "agc/arb/eps_coloring.hpp"
 
+#include <utility>
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -86,28 +88,30 @@ ClasswiseResult classwise_color(const graph::Graph& g, const ArbdefectiveResult&
 }  // namespace
 
 ClasswiseResult eps_delta_coloring(const graph::Graph& g, double eps,
-                                   std::uint64_t id_space) {
+                                   std::uint64_t id_space,
+                                   std::shared_ptr<runtime::RoundExecutor> executor) {
   const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
   if (id_space == 0) id_space = std::max<std::uint64_t>(g.n(), 2);
 
   const auto p = static_cast<std::size_t>(
       std::max(1.0, std::ceil(std::sqrt(static_cast<double>(delta)))));
-  const auto arb = arbdefective_color(g, p, id_space);
+  const auto arb = arbdefective_color(g, p, id_space, std::move(executor));
 
   const auto palette = std::max<std::uint64_t>(
       static_cast<std::uint64_t>(std::floor((1.0 + eps) * delta)) + 1, delta + 1);
   return classwise_color(g, arb, palette);
 }
 
-ClasswiseResult sublinear_delta_plus_one(const graph::Graph& g,
-                                         std::uint64_t id_space) {
+ClasswiseResult sublinear_delta_plus_one(
+    const graph::Graph& g, std::uint64_t id_space,
+    std::shared_ptr<runtime::RoundExecutor> executor) {
   const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
   if (id_space == 0) id_space = std::max<std::uint64_t>(g.n(), 2);
 
   const double log_d = std::max(1.0, std::log2(static_cast<double>(delta)));
   const auto beta = static_cast<std::size_t>(
       std::max(1.0, std::ceil(std::sqrt(static_cast<double>(delta) / log_d))));
-  const auto arb = arbdefective_color(g, beta, id_space);
+  const auto arb = arbdefective_color(g, beta, id_space, std::move(executor));
   return classwise_color(g, arb, delta + 1);
 }
 

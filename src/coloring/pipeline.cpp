@@ -13,10 +13,9 @@ namespace agc::coloring {
 namespace {
 
 void fold_metrics(runtime::Metrics& into, const runtime::Metrics& from) {
-  into.rounds += from.rounds;
-  into.messages += from.messages;
-  into.total_bits += from.total_bits;
-  into.max_edge_bits += from.max_edge_bits;
+  // Stages run fresh engines with independent per-edge ledgers: counters
+  // add, but max_edge_bits is a max over stages (summing double-counts).
+  into.merge(from);
 }
 
 /// Shared preamble: identity coloring -> Linial fixed point.

@@ -340,6 +340,7 @@ EdgeColoringResult color_edges_distributed(const graph::Graph& g,
       opts.bit_round ? runtime::Transport(runtime::Model::BIT)
                      : runtime::Transport(runtime::Model::CONGEST, opts.congest_bits);
   runtime::Engine engine(g, transport);
+  engine.set_executor(opts.executor);
   engine.install([&](const runtime::VertexEnv&) {
     return std::make_unique<EdgeColoringProgram>(sched, opts.bit_round);
   });

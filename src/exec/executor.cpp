@@ -1,0 +1,49 @@
+#include "agc/exec/executor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace agc::exec {
+
+void ParallelExecutor::round(runtime::RoundContext& ctx,
+                             runtime::Metrics& total) {
+  const std::size_t shards = pool_.size();
+  const std::size_t n = ctx.n();
+
+  pool_.run(shards, [&](std::size_t s) {
+    const auto [b, e] = shard_range(n, shards, s);
+    ctx.send(b, e);
+  });
+
+  std::vector<runtime::Metrics> per_shard(shards);
+  pool_.run(shards, [&](std::size_t s) {
+    const auto [b, e] = shard_range(n, shards, s);
+    ctx.deliver(b, e, per_shard[s]);
+  });
+  runtime::RoundContext::reduce(per_shard, total);
+
+  pool_.run(shards, [&](std::size_t s) {
+    const auto [b, e] = shard_range(n, shards, s);
+    ctx.receive(b, e);
+  });
+}
+
+std::shared_ptr<runtime::RoundExecutor> make_executor(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (threads == 1) return std::make_shared<runtime::SequentialExecutor>();
+  return std::make_shared<ParallelExecutor>(threads);
+}
+
+std::size_t default_threads() {
+  const char* env = std::getenv("AGC_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const auto v = std::strtoull(env, nullptr, 10);
+  if (v == 0) return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace agc::exec

@@ -1,18 +1,10 @@
 #include "agc/runtime/engine.hpp"
 
-#include <algorithm>
-#include <cassert>
 #include <stdexcept>
-#include <unordered_map>
+
+#include "agc/runtime/round.hpp"
 
 namespace agc::runtime {
-
-namespace {
-/// Key for a directed edge in the cumulative bit ledger.
-std::uint64_t edge_key(graph::Vertex u, graph::Vertex v) {
-  return (static_cast<std::uint64_t>(u) << 32) | v;
-}
-}  // namespace
 
 Engine::Engine(graph::Graph g, Transport transport, EngineOptions opts)
     : graph_(std::move(g)), transport_(transport), opts_(opts) {
@@ -21,15 +13,7 @@ Engine::Engine(graph::Graph g, Transport transport, EngineOptions opts)
 }
 
 void Engine::refresh_env(graph::Vertex v) {
-  VertexEnv& e = envs_[v];
-  e.id = v;
-  e.padded_id = v;
-  e.degree = graph_.degree(v);
-  e.n_bound = opts_.n_bound != 0 ? opts_.n_bound : graph_.n();
-  e.id_space = e.n_bound * std::max<std::uint64_t>(1, opts_.id_space_factor);
-  e.delta_bound = opts_.delta_bound != 0 ? opts_.delta_bound : graph_.max_degree();
-  e.neighbors = graph_.neighbors(v);
-  e.round = metrics_.rounds;
+  refresh_vertex_env(graph_, opts_, metrics_.rounds, v, envs_[v]);
 }
 
 void Engine::install(const ProgramFactory& factory) {
@@ -47,53 +31,14 @@ void Engine::step() {
   if (programs_.size() != graph_.n()) {
     throw std::logic_error("Engine::step before install()");
   }
-  const std::size_t n = graph_.n();
-
-  // Phase 1: collect and validate outgoing messages.
-  std::vector<Outbox> outboxes;
-  outboxes.reserve(n);
-  for (graph::Vertex v = 0; v < n; ++v) {
-    refresh_env(v);
-    Outbox out(graph_.degree(v));
-    programs_[v]->on_send(envs_[v], out);
-    transport_.validate(out);
-    outboxes.push_back(std::move(out));
+  edge_bits_.ensure(graph_.n());
+  RoundContext ctx(graph_, transport_, opts_, programs_, envs_, edge_bits_,
+                   metrics_.rounds);
+  if (executor_) {
+    executor_->round(ctx, metrics_);
+  } else {
+    SequentialExecutor{}.round(ctx, metrics_);
   }
-
-  // Phase 2: deliver.  Port p of sender u reaches neighbor w; the message
-  // lands at w's port for u (index of u in w's sorted neighbor list).
-  std::vector<Inbox> inboxes;
-  inboxes.reserve(n);
-  for (graph::Vertex v = 0; v < n; ++v) inboxes.emplace_back(graph_.degree(v));
-
-  for (graph::Vertex u = 0; u < n; ++u) {
-    const auto nbrs = graph_.neighbors(u);
-    for (std::size_t p = 0; p < nbrs.size(); ++p) {
-      const auto words = outboxes[u].at(p);
-      if (words.empty()) continue;
-      const graph::Vertex tgt = nbrs[p];
-      const auto tgt_nbrs = graph_.neighbors(tgt);
-      const auto it = std::lower_bound(tgt_nbrs.begin(), tgt_nbrs.end(), u);
-      assert(it != tgt_nbrs.end() && *it == u);
-      const auto tgt_port = static_cast<std::size_t>(it - tgt_nbrs.begin());
-      std::uint64_t msg_bits = 0;
-      for (const Word& w : words) {
-        inboxes[tgt].deliver(tgt_port, w);
-        msg_bits += w.bits;
-      }
-      ++metrics_.messages;
-      metrics_.total_bits += msg_bits;
-      auto& acc = edge_bits_[edge_key(u, tgt)];
-      acc += msg_bits;
-      metrics_.max_edge_bits = std::max(metrics_.max_edge_bits, acc);
-    }
-  }
-
-  // Phase 3: state updates.
-  for (graph::Vertex v = 0; v < n; ++v) {
-    programs_[v]->on_receive(envs_[v], inboxes[v]);
-  }
-
   ++metrics_.rounds;
   if (observer_) observer_(*this, metrics_.rounds);
 }

@@ -43,6 +43,7 @@ IterativeResult run_locally_iterative(const graph::Graph& g,
   result.colors = std::move(initial);
 
   Engine engine(g, Transport(opts.model, opts.congest_bits));
+  if (opts.executor) engine.set_executor(opts.executor);
   std::vector<Color>& mirror = result.colors;
   engine.install([&](const VertexEnv& env) {
     return std::make_unique<RuleProgram>(rule, mirror[env.id], &mirror[env.id]);
@@ -83,10 +84,9 @@ IterativeResult run_stages(const graph::Graph& g, std::vector<Color> initial,
     total.rounds += r.rounds;
     total.converged = total.converged && r.converged;
     total.proper_each_round = total.proper_each_round && r.proper_each_round;
-    total.metrics.rounds += r.metrics.rounds;
-    total.metrics.messages += r.metrics.messages;
-    total.metrics.total_bits += r.metrics.total_bits;
-    total.metrics.max_edge_bits += r.metrics.max_edge_bits;
+    // Each stage runs a fresh engine with its own per-edge ledger, so the
+    // cross-stage max_edge_bits is the max over stages, not their sum.
+    total.metrics.merge(r.metrics);
     if (!total.converged) break;
   }
   return total;

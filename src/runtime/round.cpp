@@ -1,0 +1,93 @@
+#include "agc/runtime/round.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace agc::runtime {
+
+void refresh_vertex_env(const graph::Graph& g, const EngineOptions& opts,
+                        std::uint64_t round, graph::Vertex v, VertexEnv& env) {
+  env.id = v;
+  env.padded_id = v;
+  env.degree = g.degree(v);
+  env.n_bound = opts.n_bound != 0 ? opts.n_bound : g.n();
+  env.id_space = env.n_bound * std::max<std::uint64_t>(1, opts.id_space_factor);
+  env.delta_bound = opts.delta_bound != 0 ? opts.delta_bound : g.max_degree();
+  env.neighbors = g.neighbors(v);
+  env.round = round;
+}
+
+RoundContext::RoundContext(const graph::Graph& graph, const Transport& transport,
+                           const EngineOptions& opts,
+                           std::vector<std::unique_ptr<VertexProgram>>& programs,
+                           std::vector<VertexEnv>& envs, EdgeBitLedger& ledger,
+                           std::uint64_t round)
+    : graph_(graph),
+      transport_(transport),
+      opts_(opts),
+      programs_(programs),
+      envs_(envs),
+      ledger_(ledger),
+      round_(round),
+      outboxes_(graph.n()),
+      inboxes_(graph.n()) {}
+
+void RoundContext::send(graph::Vertex begin, graph::Vertex end) {
+  for (graph::Vertex v = begin; v < end; ++v) {
+    refresh_vertex_env(graph_, opts_, round_, v, envs_[v]);
+    Outbox out(graph_.degree(v));
+    programs_[v]->on_send(envs_[v], out);
+    transport_.validate(out);
+    outboxes_[v] = std::move(out);
+  }
+}
+
+void RoundContext::deliver(graph::Vertex begin, graph::Vertex end,
+                           Metrics& shard) {
+  for (graph::Vertex v = begin; v < end; ++v) {
+    const auto nbrs = graph_.neighbors(v);
+    Inbox in(nbrs.size());
+    for (std::size_t port = 0; port < nbrs.size(); ++port) {
+      const graph::Vertex u = nbrs[port];
+      // u's message for v sits at u's port for v (index of v in u's sorted
+      // neighbor list).
+      const auto u_nbrs = graph_.neighbors(u);
+      const auto it = std::lower_bound(u_nbrs.begin(), u_nbrs.end(), v);
+      assert(it != u_nbrs.end() && *it == v);
+      const auto u_port = static_cast<std::size_t>(it - u_nbrs.begin());
+      const auto words = outboxes_[u].at(u_port);
+      if (words.empty()) continue;
+      std::uint64_t msg_bits = 0;
+      for (const Word& w : words) {
+        in.deliver(port, w);
+        msg_bits += w.bits;
+      }
+      ++shard.messages;
+      shard.total_bits += msg_bits;
+      const std::uint64_t acc = ledger_.add(u, v, msg_bits);
+      shard.max_edge_bits = std::max(shard.max_edge_bits, acc);
+    }
+    inboxes_[v] = std::move(in);
+  }
+}
+
+void RoundContext::reduce(std::span<const Metrics> shards, Metrics& total) {
+  for (const Metrics& s : shards) total.merge(s);
+}
+
+void RoundContext::receive(graph::Vertex begin, graph::Vertex end) {
+  for (graph::Vertex v = begin; v < end; ++v) {
+    programs_[v]->on_receive(envs_[v], inboxes_[v]);
+  }
+}
+
+void SequentialExecutor::round(RoundContext& ctx, Metrics& total) {
+  const auto n = static_cast<graph::Vertex>(ctx.n());
+  ctx.send(0, n);
+  Metrics shard;
+  ctx.deliver(0, n, shard);
+  RoundContext::reduce({&shard, 1}, total);
+  ctx.receive(0, n);
+}
+
+}  // namespace agc::runtime

@@ -76,6 +76,42 @@ TEST(Metrics, BitsScaleWithPaletteWidth) {
   EXPECT_GT(b.metrics.total_bits, a.metrics.total_bits);
 }
 
+TEST(Metrics, MergeSumsCountersButMaxesEdgeBits) {
+  // max_edge_bits is a per-edge maximum, not a flow: merging two stages (or
+  // two shards) must take the max, never the sum.
+  runtime::Metrics a;
+  a.rounds = 2;
+  a.messages = 10;
+  a.total_bits = 100;
+  a.max_edge_bits = 40;
+  runtime::Metrics b;
+  b.rounds = 3;
+  b.messages = 5;
+  b.total_bits = 50;
+  b.max_edge_bits = 25;
+  a.merge(b);
+  EXPECT_EQ(a.rounds, 5u);
+  EXPECT_EQ(a.messages, 15u);
+  EXPECT_EQ(a.total_bits, 150u);
+  EXPECT_EQ(a.max_edge_bits, 40u);  // max, not 65
+
+  runtime::Metrics c;
+  c.max_edge_bits = 90;
+  a.merge(c);
+  EXPECT_EQ(a.max_edge_bits, 90u);
+}
+
+TEST(Metrics, PipelineMaxEdgeBitsIsMaxAcrossStages) {
+  // Regression for the old sum-across-stages bug: the pipeline's
+  // max_edge_bits must be achievable by a single stage, i.e. bounded by its
+  // own total_bits and far below the sum of stage totals.
+  const auto g = graph::random_regular(120, 5, 3);
+  const auto rep = coloring::color_delta_plus_one(g);
+  ASSERT_TRUE(rep.converged);
+  EXPECT_GT(rep.metrics.max_edge_bits, 0u);
+  EXPECT_LE(rep.metrics.max_edge_bits, rep.metrics.total_bits);
+}
+
 TEST(Metrics, SummaryMentionsEveryCounter) {
   runtime::Metrics m;
   m.rounds = 3;

@@ -2,11 +2,15 @@
 //
 //   agccli color    --graph <spec> [--algo ag|exact|kw|gps|odelta|eps|sublinear]
 //                   [--model setlocal|local|congest] [--eps <x>]
-//                   [--csv <file>] [--dot <file>]
+//                   [--threads <n>] [--csv <file>] [--dot <file>]
 //   agccli edges    --graph <spec> [--bit-round] [--no-exact] [--csv <file>]
 //   agccli mis      --graph <spec>
 //   agccli match    --graph <spec>
 //   agccli selfstab --graph <spec> [--exact] [--faults <k>] [--epochs <e>]
+//
+// --threads N (or AGC_THREADS) runs the round engine on the exec subsystem's
+// N-thread backend (N=0: all hardware threads); results are bit-identical to
+// the sequential engine by the shard-determinism contract (docs/EXEC.md).
 //   agccli gen      --graph <spec> --out <file>
 //
 // Graph specs:
@@ -29,6 +33,7 @@
 #include "agc/coloring/pipeline.hpp"
 #include "agc/coloring/symmetry.hpp"
 #include "agc/edge/edge_coloring.hpp"
+#include "agc/exec/executor.hpp"
 #include "agc/graph/generators.hpp"
 #include "agc/graph/io.hpp"
 #include "agc/runtime/faults.hpp"
@@ -43,7 +48,8 @@ using namespace agc;
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
                "usage: agccli <color|edges|mis|match|selfstab|gen> --graph <spec> "
-               "[options]\nsee the header of tools/agccli.cpp for details\n");
+               "[--threads <n>] [options]\nsee the header of tools/agccli.cpp "
+               "for details\n");
   std::exit(2);
 }
 
@@ -90,6 +96,15 @@ struct Args {
     const auto it = kv.find(k);
     return it == kv.end() ? dflt : it->second;
   }
+
+  /// Execution backend for --threads/AGC_THREADS (null-free: sequential when 1).
+  std::shared_ptr<runtime::RoundExecutor> executor() const {
+    const auto it = kv.find("threads");
+    const std::size_t threads =
+        it == kv.end() ? exec::default_threads()
+                       : std::strtoull(it->second.c_str(), nullptr, 10);
+    return exec::make_executor(threads);
+  }
 };
 
 Args parse(int argc, char** argv) {
@@ -115,6 +130,7 @@ Args parse(int argc, char** argv) {
 int cmd_color(const Args& a) {
   const auto g = make_graph(a.get("graph"));
   coloring::PipelineOptions opts;
+  opts.iter.executor = a.executor();
   runtime::TraceRecorder trace(g, nullptr);
   if (a.has("trace")) opts.iter.on_round = trace.observer();
   const std::string model = a.get("model", "setlocal");
@@ -131,10 +147,12 @@ int cmd_color(const Args& a) {
   std::size_t rounds = 0, palette = 0;
   bool ok = false;
   if (algo == "eps" || algo == "sublinear") {
-    const auto rep = algo == "eps"
-                         ? arb::eps_delta_coloring(
-                               g, std::strtod(a.get("eps", "0.5").c_str(), nullptr))
-                         : arb::sublinear_delta_plus_one(g);
+    const auto rep =
+        algo == "eps"
+            ? arb::eps_delta_coloring(
+                  g, std::strtod(a.get("eps", "0.5").c_str(), nullptr), 0,
+                  a.executor())
+            : arb::sublinear_delta_plus_one(g, 0, a.executor());
     colors = rep.colors;
     rounds = rep.rounds;
     palette = rep.palette;
@@ -182,6 +200,7 @@ int cmd_color(const Args& a) {
 int cmd_edges(const Args& a) {
   const auto g = make_graph(a.get("graph"));
   edge::EdgeColoringOptions opts;
+  opts.executor = a.executor();
   opts.bit_round = a.has("bit-round");
   opts.exact = !a.has("no-exact");
   const auto res = edge::color_edges_distributed(g, opts);
@@ -228,6 +247,7 @@ int cmd_selfstab(const Args& a) {
   runtime::EngineOptions eo;
   eo.delta_bound = delta;
   runtime::Engine engine(g, runtime::Transport(runtime::Model::LOCAL), eo);
+  engine.set_executor(a.executor());
   engine.install(selfstab::ss_coloring_factory(cfg));
 
   const auto faults = std::strtoull(a.get("faults", "16").c_str(), nullptr, 10);
