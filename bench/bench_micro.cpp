@@ -1,6 +1,11 @@
 // M1 — google-benchmark microbenchmarks for the substrate hot paths: field
-// arithmetic, Linial polynomial evaluation, AG rule steps, and full engine
-// rounds.  These bound the simulator's throughput, not the paper's claims.
+// arithmetic, Linial polynomial evaluation, AG rule steps, full engine
+// rounds, and the raw message path (send/validate/deliver/receive).  These
+// bound the simulator's throughput, not the paper's claims.
+//
+// Flags: everything google-benchmark accepts, plus the repo-wide
+// `--json FILE` (BENCH_micro.json rows via bench_gbench.hpp) and
+// `--threads N` / AGC_THREADS (picked up by the *Threaded benchmarks).
 
 #include <benchmark/benchmark.h>
 
@@ -10,7 +15,9 @@
 #include "agc/math/polynomial.hpp"
 #include "agc/math/primes.hpp"
 #include "agc/exec/executor.hpp"
+#include "agc/runtime/engine.hpp"
 #include "agc/runtime/iterative.hpp"
+#include "bench_gbench.hpp"
 
 using namespace agc;
 
@@ -117,6 +124,80 @@ void BM_LinialScheduleBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_LinialScheduleBuild);
 
+// ---------------------------------------------------------------------------
+// Message path: rounds/sec through the engine's send -> validate -> deliver
+// -> receive loop, isolated from any algorithmic work.  One broadcast word
+// per vertex per round plus a multiset read per receive — the exact shape of
+// every locally-iterative rule — so this measures the mailbox machinery
+// (allocation, delivery, accounting), nothing else.  The arena refactor's
+// acceptance gate: >= 1.5x items/sec at Delta=64 vs the committed baseline.
+// ---------------------------------------------------------------------------
+
+/// Never halts; folds the received multiset into a checksum so delivery and
+/// the multiset view cannot be optimized away.
+class BroadcastFoldProgram final : public runtime::VertexProgram {
+ public:
+  void on_send(const runtime::VertexEnv& env, runtime::Outbox& out) override {
+    out.broadcast(
+        runtime::Word{sum_ % env.n_bound, runtime::width_of(env.n_bound - 1)});
+  }
+  void on_receive(const runtime::VertexEnv&, const runtime::Inbox& in) override {
+    std::uint64_t s = 0;
+    for (const std::uint64_t v : in.multiset()) s += v;
+    sum_ = s + 1;
+  }
+
+ private:
+  std::uint64_t sum_ = 1;
+};
+
+void message_path_rounds(benchmark::State& state, const graph::Graph& g,
+                         runtime::Model model, std::size_t threads) {
+  runtime::Engine engine(g, runtime::Transport(model));
+  engine.set_executor(exec::make_executor(threads));
+  engine.install([](const runtime::VertexEnv&) {
+    return std::make_unique<BroadcastFoldProgram>();
+  });
+  engine.step();  // warm the mailbox path before the timed region
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["threads"] =
+      static_cast<double>(engine.executor() ? engine.executor()->threads() : 1);
+}
+
+void BM_MessagePathRegular(benchmark::State& state) {
+  const auto delta = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_regular(4096, delta, 97 + delta);
+  message_path_rounds(state, g, runtime::Model::SET_LOCAL, 1);
+}
+BENCHMARK(BM_MessagePathRegular)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MessagePathGnp(benchmark::State& state) {
+  const auto delta = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_gnp(
+      4096, static_cast<double>(delta) / 4096.0, 55 + delta);
+  message_path_rounds(state, g, runtime::Model::SET_LOCAL, 1);
+}
+BENCHMARK(BM_MessagePathGnp)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// The same loop on the exec backend's threads (--threads/AGC_THREADS).
+void BM_MessagePathRegularThreaded(benchmark::State& state) {
+  const auto delta = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_regular(4096, delta, 97 + delta);
+  message_path_rounds(state, g, runtime::Model::SET_LOCAL,
+                      benchutil::gbench_threads());
+}
+BENCHMARK(BM_MessagePathRegularThreaded)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return benchutil::run_gbench_main(argc, argv, "micro");
+}
