@@ -137,11 +137,12 @@ BENCHMARK(BM_LinialScheduleBuild);
 /// the multiset view cannot be optimized away.
 class BroadcastFoldProgram final : public runtime::VertexProgram {
  public:
-  void on_send(const runtime::VertexEnv& env, runtime::Outbox& out) override {
+  void on_send(const runtime::VertexEnv& env, runtime::OutboxRef& out) override {
     out.broadcast(
         runtime::Word{sum_ % env.n_bound, runtime::width_of(env.n_bound - 1)});
   }
-  void on_receive(const runtime::VertexEnv&, const runtime::Inbox& in) override {
+  void on_receive(const runtime::VertexEnv&,
+                  const runtime::InboxRef& in) override {
     std::uint64_t s = 0;
     for (const std::uint64_t v : in.multiset()) s += v;
     sum_ = s + 1;

@@ -77,8 +77,9 @@ class EdgeColoringProgram final : public runtime::VertexProgram {
       : sched_(sched), serialize_(serialize) {}
 
   void on_start(const runtime::VertexEnv& env) override;
-  void on_send(const runtime::VertexEnv& env, runtime::Outbox& out) override;
-  void on_receive(const runtime::VertexEnv& env, const runtime::Inbox& in) override;
+  void on_send(const runtime::VertexEnv& env, runtime::OutboxRef& out) override;
+  void on_receive(const runtime::VertexEnv& env,
+                  const runtime::InboxRef& in) override;
   [[nodiscard]] bool halted(const runtime::VertexEnv&) const override {
     return lr_ >= sched_.logical_rounds();
   }

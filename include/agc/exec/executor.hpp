@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "agc/exec/thread_pool.hpp"
 #include "agc/runtime/round.hpp"
@@ -18,13 +20,17 @@
 /// total_bits and max_edge_bits are bit-identical to the sequential engine
 /// for every thread count — the contract docs/EXEC.md spells out and
 /// tests/test_exec.cpp pins.
+///
+/// The per-round state (shard Metrics, phase task closures) is owned by the
+/// executor and reused, so a steady-state round makes no heap allocation
+/// here — matching the engine's arena-backed message path.
 
 namespace agc::exec {
 
 class ParallelExecutor final : public runtime::RoundExecutor {
  public:
   /// `threads` >= 2 OS threads (use make_executor for the general case).
-  explicit ParallelExecutor(std::size_t threads) : pool_(threads) {}
+  explicit ParallelExecutor(std::size_t threads);
 
   [[nodiscard]] std::size_t threads() const noexcept override {
     return pool_.size();
@@ -34,6 +40,14 @@ class ParallelExecutor final : public runtime::RoundExecutor {
 
  private:
   ThreadPool pool_;
+  /// Round-scoped context pointer read by the reusable phase tasks.  Only
+  /// valid inside round(); engines never run rounds concurrently on one
+  /// executor.
+  runtime::RoundContext* ctx_ = nullptr;
+  std::vector<runtime::Metrics> per_shard_;
+  std::function<void(std::size_t)> send_task_;
+  std::function<void(std::size_t)> deliver_task_;
+  std::function<void(std::size_t)> receive_task_;
 };
 
 /// Shard s of [0, n) split into `shards` contiguous, balanced ranges.

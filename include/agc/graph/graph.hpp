@@ -63,9 +63,18 @@ class Graph {
   /// All edges in canonical form, sorted lexicographically.
   [[nodiscard]] std::vector<Edge> edges() const;
 
+  /// Monotone counter bumped by every successful topology mutation
+  /// (add_edge / remove_edge / add_vertex).  Consumers that cache structure
+  /// derived from the adjacency lists — e.g. the round engine's mailbox
+  /// arena — compare it to decide in O(1) whether to rebuild.
+  [[nodiscard]] std::uint64_t topology_version() const noexcept {
+    return version_;
+  }
+
  private:
   std::vector<std::vector<Vertex>> adj_;
   std::size_t m_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace agc::graph

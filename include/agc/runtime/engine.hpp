@@ -49,11 +49,14 @@ class VertexProgram {
   /// resets the vertex).
   virtual void on_start(const VertexEnv& /*env*/) {}
 
-  /// Produce this round's outgoing messages.
-  virtual void on_send(const VertexEnv& env, Outbox& out) = 0;
+  /// Produce this round's outgoing messages.  `out` is a view into the
+  /// engine's mailbox arena, valid only for the duration of the call.
+  virtual void on_send(const VertexEnv& env, OutboxRef& out) = 0;
 
-  /// Consume this round's incoming messages and update state.
-  virtual void on_receive(const VertexEnv& env, const Inbox& in) = 0;
+  /// Consume this round's incoming messages and update state.  `in` reads
+  /// the senders' words in place; the view (and any span it returns) is
+  /// valid only for the duration of the call.
+  virtual void on_receive(const VertexEnv& env, const InboxRef& in) = 0;
 
   /// A halted program stops the run() loop once every vertex reports halted.
   /// Self-stabilizing programs never halt.
@@ -120,6 +123,10 @@ class Engine {
   }
   [[nodiscard]] const VertexEnv& env(graph::Vertex v) const { return envs_[v]; }
 
+  /// The engine-owned mailbox storage (exposed for tests and allocation
+  /// accounting; programs only ever see it through Outbox/Inbox views).
+  [[nodiscard]] const MailboxArena& arena() const noexcept { return arena_; }
+
   /// Observer invoked after every round (used by tests to assert invariants
   /// such as "the coloring is proper after every round").
   void set_observer(std::function<void(const Engine&, std::size_t round)> obs) {
@@ -156,6 +163,7 @@ class Engine {
   std::vector<VertexEnv> envs_;
   Metrics metrics_;
   EdgeBitLedger edge_bits_;
+  MailboxArena arena_;
   std::shared_ptr<RoundExecutor> executor_;
   std::function<void(const Engine&, std::size_t)> observer_;
 };

@@ -16,14 +16,15 @@
 ///
 /// Shard-determinism contract (see docs/EXEC.md):
 ///   * Vertices are partitioned into contiguous shards.  send() and
-///     receive() touch only the programs/envs/outboxes/inboxes of their own
-///     shard, so concurrent shards never alias.
-///   * deliver() is sharded by *receiver*: shard [b, e) pulls, for each of
+///     receive() touch only the programs/envs/ports of their own shard
+///     (plus, for receive, read-only views of the frozen arena), so
+///     concurrent shards never alias writable state.
+///   * deliver() is sharded by *receiver*: shard [b, e) walks, for each of
 ///     its receivers v in ascending order and each port p of v in ascending
-///     order, the message its neighbor queued for v.  An inbox slot is
-///     therefore filled by exactly one shard, in exactly the order the
-///     sequential engine fills it — delivery is bit-identical for every
-///     shard count, including 1.
+///     order, the words its neighbor queued for v — reading them in place
+///     through the arena's reverse-port map.  Accounting per (sender,
+///     receiver) edge happens in exactly the order the sequential engine
+///     uses, so delivery is bit-identical for every shard count, including 1.
 ///   * Accounting is folded per shard into a local Metrics and reduced in
 ///     shard order (Metrics::merge: sums for counters, max for
 ///     max_edge_bits), so metrics are bit-identical too.
@@ -35,35 +36,42 @@ namespace agc::runtime {
 void refresh_vertex_env(const graph::Graph& g, const EngineOptions& opts,
                         std::uint64_t round, graph::Vertex v, VertexEnv& env);
 
-/// All state one round touches, plus the per-round mailboxes.  Phase methods
-/// accept a vertex range so executors can shard them; ranges passed to one
-/// phase must partition [0, n) between its barriers.
+/// All state one round touches.  Messages live in the engine's MailboxArena;
+/// the context only hands out views.  Phase methods accept a vertex range
+/// plus the executing shard's id so executors can shard them; ranges passed
+/// to one phase must partition [0, n) between its barriers, and the same
+/// shard id must always own the same range within a round.
 class RoundContext {
  public:
   RoundContext(const graph::Graph& graph, const Transport& transport,
                const EngineOptions& opts,
                std::vector<std::unique_ptr<VertexProgram>>& programs,
                std::vector<VertexEnv>& envs, EdgeBitLedger& ledger,
-               std::uint64_t round);
+               MailboxArena& arena, std::uint64_t round);
 
   [[nodiscard]] std::size_t n() const noexcept { return graph_.n(); }
 
-  /// Phase 1: refresh envs, collect and validate outgoing messages of
-  /// senders [begin, end).
-  void send(graph::Vertex begin, graph::Vertex end);
+  /// Called once per round by the executor before any phase: sizes the
+  /// arena's per-shard lanes and scratch (no-op at steady state).
+  void prepare(std::size_t shards) { arena_.ensure_shards(shards); }
 
-  /// Phase 2: pull every message addressed to receivers [begin, end) into
-  /// their inboxes, folding accounting into `shard`.  Requires send() to
-  /// have completed for ALL vertices (the executor's barrier).
+  /// Phase 1: refresh envs, reset the shard's ports and spill lane, collect
+  /// and validate outgoing messages of senders [begin, end).
+  void send(graph::Vertex begin, graph::Vertex end, std::size_t shard);
+
+  /// Phase 2: account every message addressed to receivers [begin, end),
+  /// folding into `shard`.  Reads the frozen arena in place — nothing is
+  /// copied.  Requires send() to have completed for ALL vertices (the
+  /// executor's barrier).
   void deliver(graph::Vertex begin, graph::Vertex end, Metrics& shard);
 
   /// Fold per-shard deliver() accounting into `total`, in shard order.
   static void reduce(std::span<const Metrics> shards, Metrics& total);
 
   /// Phase 3: state updates of vertices [begin, end).  Requires deliver()
-  /// to have completed for the same range (receive only reads own inboxes,
-  /// so a barrier per shard would suffice; executors use a global one).
-  void receive(graph::Vertex begin, graph::Vertex end);
+  /// to have completed for the same range (receive reads the whole frozen
+  /// arena through inbox views; executors barrier globally).
+  void receive(graph::Vertex begin, graph::Vertex end, std::size_t shard);
 
  private:
   const graph::Graph& graph_;
@@ -72,9 +80,8 @@ class RoundContext {
   std::vector<std::unique_ptr<VertexProgram>>& programs_;
   std::vector<VertexEnv>& envs_;
   EdgeBitLedger& ledger_;
+  MailboxArena& arena_;
   std::uint64_t round_;
-  std::vector<Outbox> outboxes_;
-  std::vector<Inbox> inboxes_;
 };
 
 /// Execution backend interface: runs the three phases of one round with

@@ -35,8 +35,9 @@ class Transport {
   [[nodiscard]] std::uint32_t width_cap() const noexcept;
 
   /// Throws std::logic_error if the outbox violates the model (over-wide
-  /// message, or a directed send in SET_LOCAL).
-  void validate(const Outbox& out) const;
+  /// message, or a directed send in SET_LOCAL).  Reads the arena-backed view
+  /// in place — no message is copied for validation.
+  void validate(const OutboxRef& out) const;
 
  private:
   Model model_;

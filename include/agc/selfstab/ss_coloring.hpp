@@ -100,11 +100,12 @@ class SsColoringProgram final : public runtime::VertexProgram {
   void on_start(const runtime::VertexEnv& env) override {
     color_ = cfg_.reset_color(env.padded_id);
   }
-  void on_send(const runtime::VertexEnv&, runtime::Outbox& out) override {
+  void on_send(const runtime::VertexEnv&, runtime::OutboxRef& out) override {
     color_ = cfg_.truncate(color_);
     out.broadcast(runtime::Word{color_, cfg_.color_bits()});
   }
-  void on_receive(const runtime::VertexEnv& env, const runtime::Inbox& in) override {
+  void on_receive(const runtime::VertexEnv& env,
+                  const runtime::InboxRef& in) override {
     const auto nbrs = in.multiset();
     color_ = cfg_.step(env.padded_id, cfg_.truncate(color_), nbrs);
   }

@@ -65,8 +65,9 @@ class SsLineProgram final : public runtime::VertexProgram {
   explicit SsLineProgram(const SsLineConfig& cfg) : cfg_(cfg) {}
 
   void on_start(const runtime::VertexEnv& env) override;
-  void on_send(const runtime::VertexEnv& env, runtime::Outbox& out) override;
-  void on_receive(const runtime::VertexEnv& env, const runtime::Inbox& in) override;
+  void on_send(const runtime::VertexEnv& env, runtime::OutboxRef& out) override;
+  void on_receive(const runtime::VertexEnv& env,
+                  const runtime::InboxRef& in) override;
   std::span<std::uint64_t> ram() override { return vals_; }
 
   /// Replica state for the edge to neighbor `w` (packed color|status), or

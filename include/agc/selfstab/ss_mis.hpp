@@ -51,13 +51,14 @@ class SsMisProgram final : public runtime::VertexProgram {
     ram_[0] = cfg_.reset_color(env.padded_id);
     ram_[1] = kUndecided;
   }
-  void on_send(const runtime::VertexEnv&, runtime::Outbox& out) override {
+  void on_send(const runtime::VertexEnv&, runtime::OutboxRef& out) override {
     ram_[0] = cfg_.truncate(ram_[0]);
     ram_[1] &= 3;
     out.broadcast(
         runtime::Word{pack_cs(ram_[0], ram_[1]), cfg_.color_bits() + 2});
   }
-  void on_receive(const runtime::VertexEnv& env, const runtime::Inbox& in) override;
+  void on_receive(const runtime::VertexEnv& env,
+                  const runtime::InboxRef& in) override;
   std::span<std::uint64_t> ram() override { return {ram_, 2}; }
 
   [[nodiscard]] std::uint64_t color() const noexcept { return ram_[0]; }

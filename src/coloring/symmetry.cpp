@@ -18,11 +18,11 @@ class MisWaveProgram final : public runtime::VertexProgram {
   MisWaveProgram(Color color, std::uint32_t color_bits)
       : color_(color), bits_(color_bits) {}
 
-  void on_send(const runtime::VertexEnv&, runtime::Outbox& out) override {
+  void on_send(const runtime::VertexEnv&, runtime::OutboxRef& out) override {
     out.broadcast(runtime::Word{(color_ << 2) | status_, bits_ + 2});
   }
 
-  void on_receive(const runtime::VertexEnv&, const runtime::Inbox& in) override {
+  void on_receive(const runtime::VertexEnv&, const runtime::InboxRef& in) override {
     if (status_ != kUndecided) return;
     bool any_in = false;
     bool smaller_undecided = false;

@@ -159,7 +159,7 @@ std::optional<std::uint64_t> EdgeColoringProgram::word_for_port(
 }
 
 void EdgeColoringProgram::on_send(const runtime::VertexEnv& env,
-                                  runtime::Outbox& out) {
+                                  runtime::OutboxRef& out) {
   if (lr_ >= sched_.logical_rounds() || nbrs_.empty()) return;
   const auto& slot = sched_.slot(lr_);
   if (!serialize_ || bit_ == 0) {
@@ -179,7 +179,7 @@ void EdgeColoringProgram::on_send(const runtime::VertexEnv& env,
 }
 
 void EdgeColoringProgram::on_receive(const runtime::VertexEnv& env,
-                                     const runtime::Inbox& in) {
+                                     const runtime::InboxRef& in) {
   if (lr_ >= sched_.logical_rounds()) return;
   const auto& slot = sched_.slot(lr_);
 

@@ -7,27 +7,35 @@
 
 namespace agc::exec {
 
+ParallelExecutor::ParallelExecutor(std::size_t threads) : pool_(threads) {
+  // Built once; each task reads the round-scoped ctx_ through `this`, so
+  // round() never constructs a std::function (which would heap-allocate).
+  send_task_ = [this](std::size_t s) {
+    const auto [b, e] = shard_range(ctx_->n(), pool_.size(), s);
+    ctx_->send(b, e, s);
+  };
+  deliver_task_ = [this](std::size_t s) {
+    const auto [b, e] = shard_range(ctx_->n(), pool_.size(), s);
+    ctx_->deliver(b, e, per_shard_[s]);
+  };
+  receive_task_ = [this](std::size_t s) {
+    const auto [b, e] = shard_range(ctx_->n(), pool_.size(), s);
+    ctx_->receive(b, e, s);
+  };
+}
+
 void ParallelExecutor::round(runtime::RoundContext& ctx,
                              runtime::Metrics& total) {
   const std::size_t shards = pool_.size();
-  const std::size_t n = ctx.n();
+  ctx.prepare(shards);
+  ctx_ = &ctx;
+  per_shard_.assign(shards, runtime::Metrics{});  // capacity reused
 
-  pool_.run(shards, [&](std::size_t s) {
-    const auto [b, e] = shard_range(n, shards, s);
-    ctx.send(b, e);
-  });
-
-  std::vector<runtime::Metrics> per_shard(shards);
-  pool_.run(shards, [&](std::size_t s) {
-    const auto [b, e] = shard_range(n, shards, s);
-    ctx.deliver(b, e, per_shard[s]);
-  });
-  runtime::RoundContext::reduce(per_shard, total);
-
-  pool_.run(shards, [&](std::size_t s) {
-    const auto [b, e] = shard_range(n, shards, s);
-    ctx.receive(b, e);
-  });
+  pool_.run(shards, send_task_);
+  pool_.run(shards, deliver_task_);
+  runtime::RoundContext::reduce(per_shard_, total);
+  pool_.run(shards, receive_task_);
+  ctx_ = nullptr;
 }
 
 std::shared_ptr<runtime::RoundExecutor> make_executor(std::size_t threads) {

@@ -30,6 +30,7 @@ bool Graph::add_edge(Vertex u, Vertex v) {
   auto& av = adj_[v];
   av.insert(std::lower_bound(av.begin(), av.end(), u), u);
   ++m_;
+  ++version_;
   return true;
 }
 
@@ -42,11 +43,13 @@ bool Graph::remove_edge(Vertex u, Vertex v) {
   auto& av = adj_[v];
   av.erase(std::lower_bound(av.begin(), av.end(), u));
   --m_;
+  ++version_;
   return true;
 }
 
 Vertex Graph::add_vertex() {
   adj_.emplace_back();
+  ++version_;
   return static_cast<Vertex>(adj_.size() - 1);
 }
 

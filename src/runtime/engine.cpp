@@ -32,8 +32,9 @@ void Engine::step() {
     throw std::logic_error("Engine::step before install()");
   }
   edge_bits_.ensure(graph_.n());
+  arena_.ensure(graph_);  // O(1) unless the adversary churned topology
   RoundContext ctx(graph_, transport_, opts_, programs_, envs_, edge_bits_,
-                   metrics_.rounds);
+                   arena_, metrics_.rounds);
   if (executor_) {
     executor_->round(ctx, metrics_);
   } else {

@@ -17,11 +17,11 @@ class RuleProgram final : public VertexProgram {
     *mirror_ = color_;
   }
 
-  void on_send(const VertexEnv&, Outbox& out) override {
+  void on_send(const VertexEnv&, OutboxRef& out) override {
     out.broadcast(Word{color_, rule_.color_bits()});
   }
 
-  void on_receive(const VertexEnv&, const Inbox& in) override {
+  void on_receive(const VertexEnv&, const InboxRef& in) override {
     const auto nbrs = in.multiset();
     color_ = rule_.step(color_, nbrs);
     *mirror_ = color_;

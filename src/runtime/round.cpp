@@ -1,7 +1,6 @@
 #include "agc/runtime/round.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 namespace agc::runtime {
 
@@ -21,24 +20,25 @@ RoundContext::RoundContext(const graph::Graph& graph, const Transport& transport
                            const EngineOptions& opts,
                            std::vector<std::unique_ptr<VertexProgram>>& programs,
                            std::vector<VertexEnv>& envs, EdgeBitLedger& ledger,
-                           std::uint64_t round)
+                           MailboxArena& arena, std::uint64_t round)
     : graph_(graph),
       transport_(transport),
       opts_(opts),
       programs_(programs),
       envs_(envs),
       ledger_(ledger),
-      round_(round),
-      outboxes_(graph.n()),
-      inboxes_(graph.n()) {}
+      arena_(arena),
+      round_(round) {}
 
-void RoundContext::send(graph::Vertex begin, graph::Vertex end) {
+void RoundContext::send(graph::Vertex begin, graph::Vertex end,
+                        std::size_t shard) {
+  arena_.begin_shard(shard);
   for (graph::Vertex v = begin; v < end; ++v) {
+    arena_.reset_ports(v);
     refresh_vertex_env(graph_, opts_, round_, v, envs_[v]);
-    Outbox out(graph_.degree(v));
+    OutboxRef out = arena_.outbox(v, shard);
     programs_[v]->on_send(envs_[v], out);
     transport_.validate(out);
-    outboxes_[v] = std::move(out);
   }
 }
 
@@ -46,28 +46,19 @@ void RoundContext::deliver(graph::Vertex begin, graph::Vertex end,
                            Metrics& shard) {
   for (graph::Vertex v = begin; v < end; ++v) {
     const auto nbrs = graph_.neighbors(v);
-    Inbox in(nbrs.size());
+    const std::uint32_t* peers = arena_.peer_ports(v);
     for (std::size_t port = 0; port < nbrs.size(); ++port) {
-      const graph::Vertex u = nbrs[port];
-      // u's message for v sits at u's port for v (index of v in u's sorted
-      // neighbor list).
-      const auto u_nbrs = graph_.neighbors(u);
-      const auto it = std::lower_bound(u_nbrs.begin(), u_nbrs.end(), v);
-      assert(it != u_nbrs.end() && *it == v);
-      const auto u_port = static_cast<std::size_t>(it - u_nbrs.begin());
-      const auto words = outboxes_[u].at(u_port);
+      // v's p-th inbound message sits at v's port in its neighbor's table,
+      // precomputed in the arena's reverse-port map.
+      const auto words = arena_.words(peers[port]);
       if (words.empty()) continue;
       std::uint64_t msg_bits = 0;
-      for (const Word& w : words) {
-        in.deliver(port, w);
-        msg_bits += w.bits;
-      }
+      for (const Word& w : words) msg_bits += w.bits;
       ++shard.messages;
       shard.total_bits += msg_bits;
-      const std::uint64_t acc = ledger_.add(u, v, msg_bits);
+      const std::uint64_t acc = ledger_.add(nbrs[port], v, msg_bits);
       shard.max_edge_bits = std::max(shard.max_edge_bits, acc);
     }
-    inboxes_[v] = std::move(in);
   }
 }
 
@@ -75,19 +66,22 @@ void RoundContext::reduce(std::span<const Metrics> shards, Metrics& total) {
   for (const Metrics& s : shards) total.merge(s);
 }
 
-void RoundContext::receive(graph::Vertex begin, graph::Vertex end) {
+void RoundContext::receive(graph::Vertex begin, graph::Vertex end,
+                           std::size_t shard) {
   for (graph::Vertex v = begin; v < end; ++v) {
-    programs_[v]->on_receive(envs_[v], inboxes_[v]);
+    const InboxRef in = arena_.inbox(v, shard);
+    programs_[v]->on_receive(envs_[v], in);
   }
 }
 
 void SequentialExecutor::round(RoundContext& ctx, Metrics& total) {
   const auto n = static_cast<graph::Vertex>(ctx.n());
-  ctx.send(0, n);
+  ctx.prepare(1);
+  ctx.send(0, n, 0);
   Metrics shard;
   ctx.deliver(0, n, shard);
   RoundContext::reduce({&shard, 1}, total);
-  ctx.receive(0, n);
+  ctx.receive(0, n, 0);
 }
 
 }  // namespace agc::runtime

@@ -24,7 +24,7 @@ std::uint32_t Transport::width_cap() const noexcept {
   return 0;
 }
 
-void Transport::validate(const Outbox& out) const {
+void Transport::validate(const OutboxRef& out) const {
   if (model_ == Model::SET_LOCAL && !out.used_broadcast_only()) {
     throw std::logic_error(
         "SET-LOCAL model admits broadcast only (no per-port sends)");

@@ -36,7 +36,8 @@ void SsLineProgram::on_start(const runtime::VertexEnv& env) {
   sync_keys(env);
 }
 
-void SsLineProgram::on_send(const runtime::VertexEnv& env, runtime::Outbox& out) {
+void SsLineProgram::on_send(const runtime::VertexEnv& env,
+                            runtime::OutboxRef& out) {
   sync_keys(env);
   const std::uint32_t bits = cfg_.coloring().color_bits() + 2;
   for (auto& v : vals_) {
@@ -54,7 +55,7 @@ void SsLineProgram::on_send(const runtime::VertexEnv& env, runtime::Outbox& out)
 }
 
 void SsLineProgram::on_receive(const runtime::VertexEnv& env,
-                               const runtime::Inbox& in) {
+                               const runtime::InboxRef& in) {
   assert(keys_.size() == in.ports());
   const bool phase_b = (env.round % 2) == 1;
 

@@ -37,7 +37,7 @@ MisStatus mis_update(std::uint64_t my_color, MisStatus my_status,
 }
 
 void SsMisProgram::on_receive(const runtime::VertexEnv& env,
-                              const runtime::Inbox& in) {
+                              const runtime::InboxRef& in) {
   const auto packed = in.multiset();
   // Color step first (on the color components, which arrive sorted because
   // the status occupies the low bits).

@@ -1,0 +1,122 @@
+// Zero-steady-state-allocation guarantee of the arena-backed message path
+// (the tentpole property of the CSR mailbox refactor): once the engine,
+// arena, spill lanes, scratch and ledger are warm, a round of
+// send -> validate -> deliver -> receive performs NO heap allocation for the
+// bounded models, sequential or sharded.
+//
+// The hook is a global operator new/delete override counting every
+// allocation in the process, so this test lives in its own binary: the
+// count is only examined around engine.step() calls, where the engine (and
+// a non-allocating program) are the only actors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "agc/exec/executor.hpp"
+#include "agc/graph/generators.hpp"
+#include "agc/runtime/engine.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace agc;
+using namespace agc::runtime;
+
+/// Broadcasts one bit (legal in every model, including BIT) and folds the
+/// received multiset — without allocating itself.
+class ParityProgram final : public VertexProgram {
+ public:
+  void on_send(const VertexEnv&, OutboxRef& out) override {
+    out.broadcast({acc_ & 1, 1});
+  }
+  void on_receive(const VertexEnv&, const InboxRef& in) override {
+    std::uint64_t s = 0;
+    for (const std::uint64_t v : in.multiset()) s += v;
+    acc_ += s + 1;
+  }
+
+ private:
+  std::uint64_t acc_ = 1;
+};
+
+void expect_steady_state_alloc_free(Model model, std::size_t threads) {
+  const auto g = graph::random_regular(256, 8, 5);
+  Engine engine(g, Transport(model));
+  engine.set_executor(exec::make_executor(threads));
+  engine.install(
+      [](const VertexEnv&) { return std::make_unique<ParityProgram>(); });
+  for (int i = 0; i < 3; ++i) engine.step();  // warm arena, scratch, ledger
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 8; ++i) engine.step();
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << to_string(model) << " threads=" << threads << ": "
+      << (after - before) << " allocations in 8 steady-state rounds";
+}
+
+TEST(AllocHook, HookIsLive) {
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  // Direct operator calls: a `delete new int` pair may legally be elided.
+  ::operator delete(::operator new(16));
+  EXPECT_GT(g_allocs.load(std::memory_order_relaxed), before);
+}
+
+TEST(AllocHook, RoundLoopIsAllocationFreeForBoundedModels) {
+  for (const Model model : {Model::SET_LOCAL, Model::CONGEST, Model::BIT}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+      expect_steady_state_alloc_free(model, threads);
+    }
+  }
+}
+
+TEST(AllocHook, LocalModelSpillPathReachesSteadyState) {
+  // LOCAL with multi-word messages: lanes grow for a few rounds, then the
+  // geometric capacities saturate and the loop is allocation-free too.
+  class MultiWordProgram final : public VertexProgram {
+   public:
+    void on_send(const VertexEnv& env, OutboxRef& out) override {
+      for (std::size_t p = 0; p < env.degree; ++p) {
+        for (int k = 0; k < 3; ++k) out.send(p, {acc_ & 0xff, 8});
+      }
+    }
+    void on_receive(const VertexEnv&, const InboxRef& in) override {
+      for (std::size_t p = 0; p < in.ports(); ++p) {
+        for (const Word w : in.from_port(p)) acc_ += w.value;
+      }
+      ++acc_;
+    }
+
+   private:
+    std::uint64_t acc_ = 1;
+  };
+
+  const auto g = graph::random_regular(128, 6, 9);
+  Engine engine(g, Transport(Model::LOCAL));
+  engine.install(
+      [](const VertexEnv&) { return std::make_unique<MultiWordProgram>(); });
+  for (int i = 0; i < 3; ++i) engine.step();
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 8; ++i) engine.step();
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed) - before, 0u);
+}
+
+}  // namespace

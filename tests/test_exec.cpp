@@ -16,6 +16,7 @@
 #include "agc/runtime/engine.hpp"
 #include "agc/runtime/faults.hpp"
 #include "agc/selfstab/ss_coloring.hpp"
+#include "agc/selfstab/ss_line.hpp"
 
 namespace {
 
@@ -71,11 +72,12 @@ class BitChainProgram final : public runtime::VertexProgram {
   void on_start(const runtime::VertexEnv& env) override {
     ram_ = {0, env.padded_id & 1};
   }
-  void on_send(const runtime::VertexEnv& /*env*/, runtime::Outbox& out) override {
+  void on_send(const runtime::VertexEnv& /*env*/,
+               runtime::OutboxRef& out) override {
     out.broadcast(runtime::Word{ram_[1] & 1, 1});
   }
   void on_receive(const runtime::VertexEnv& /*env*/,
-                  const runtime::Inbox& in) override {
+                  const runtime::InboxRef& in) override {
     for (std::size_t p = 0; p < in.ports(); ++p) {
       for (const runtime::Word w : in.from_port(p)) {
         ram_[0] = ram_[0] * 1099511628211ULL + (w.value << 1 | 1);
@@ -175,6 +177,60 @@ TEST(ExecDeterminism, MoreShardsThanVertices) {
   const auto rep = coloring::color_delta_plus_one(g, par);
   EXPECT_EQ(rep.colors, seq.colors);
   expect_same_metrics(rep.metrics, seq.metrics);
+}
+
+// The arena's spill lane under shards: the LOCAL-model line-graph simulation
+// sends degree-many words per port in phase B, so every port outgrows its
+// inline slot.  Spilled message volume is partition-independent and the
+// whole trajectory (RAM + metrics + arena growth) must be bit-identical for
+// thread counts 1/2/8; lane layout per thread count must be reproducible
+// run-to-run.  The TSan CI job runs this binary, covering the concurrent
+// spill writes.
+TEST(ExecDeterminism, SsLineSpillLaneDeterministicAcrossThreads) {
+  const auto g = graph::random_gnp(48, 0.14, 33);
+  selfstab::SsLineConfig cfg(g.n(), g.max_degree(),
+                             selfstab::LineTask::MaximalMatching);
+
+  struct Trace {
+    std::vector<std::uint64_t> spilled;     ///< per-round spilled words
+    std::vector<std::uint64_t> lane_used;   ///< per-round lane usage
+    std::vector<std::uint64_t> ram;         ///< final RAM, all vertices
+    runtime::Metrics metrics;
+  };
+  auto run = [&](std::size_t threads) {
+    runtime::EngineOptions eo;
+    eo.delta_bound = g.max_degree();
+    runtime::Engine engine(g, runtime::Transport(runtime::Model::LOCAL), eo);
+    engine.set_executor(exec::make_executor(threads));
+    engine.install(selfstab::ss_line_factory(cfg));
+    Trace t;
+    for (int round = 0; round < 30; ++round) {
+      engine.step();
+      t.spilled.push_back(engine.arena().spilled_words());
+      t.lane_used.push_back(engine.arena().lane_words_used());
+    }
+    for (graph::Vertex v = 0; v < engine.graph().n(); ++v) {
+      for (const std::uint64_t w : engine.program(v).ram()) t.ram.push_back(w);
+    }
+    t.metrics = engine.metrics();
+    return t;
+  };
+
+  const Trace seq = run(1);
+  // Phase-B rounds (odd) actually spill: deg words per port, 1 inline.
+  EXPECT_GT(seq.spilled[1], 0u);
+
+  for (const std::size_t threads : {2, 8}) {
+    const Trace par = run(threads);
+    // Observable state and spill volume: partition-independent.
+    EXPECT_EQ(par.ram, seq.ram) << "threads=" << threads;
+    EXPECT_EQ(par.spilled, seq.spilled) << "threads=" << threads;
+    expect_same_metrics(par.metrics, seq.metrics);
+    // Lane layout: partition-dependent but deterministic per thread count.
+    const Trace repeat = run(threads);
+    EXPECT_EQ(repeat.lane_used, par.lane_used) << "threads=" << threads;
+    EXPECT_EQ(repeat.ram, par.ram) << "threads=" << threads;
+  }
 }
 
 TEST(ThreadPool, RunsEveryTaskExactlyOnce) {

@@ -24,25 +24,47 @@ TEST(Message, WidthOf) {
   EXPECT_EQ(width_of(~0ULL), 64u);
 }
 
+/// Single-shard arena around a graph, for direct Outbox/Inbox view tests.
+struct ArenaHarness {
+  explicit ArenaHarness(graph::Graph graph) : g(std::move(graph)) {
+    arena.ensure(g);
+    arena.ensure_shards(1);
+    arena.begin_shard(0);
+    for (graph::Vertex v = 0; v < g.n(); ++v) arena.reset_ports(v);
+  }
+  [[nodiscard]] OutboxRef outbox(graph::Vertex v) { return arena.outbox(v, 0); }
+  [[nodiscard]] InboxRef inbox(graph::Vertex v) { return arena.inbox(v, 0); }
+
+  graph::Graph g;
+  MailboxArena arena;
+};
+
 TEST(Message, InboxMultisetSortedAnonymous) {
-  Inbox in(3);
-  in.deliver(0, {42, 8});
-  in.deliver(2, {7, 8});
+  // Star: 0 is adjacent to {1, 2, 3}; leaves 1 and 3 send, 2 stays silent.
+  ArenaHarness h(graph::Graph::from_edges(
+      4, std::vector<graph::Edge>{{0, 1}, {0, 2}, {0, 3}}));
+  h.outbox(1).send(0, {42, 8});
+  h.outbox(3).send(0, {7, 8});
+  const auto in = h.inbox(0);
   const auto ms = in.multiset();
-  EXPECT_EQ(ms, (std::vector<std::uint64_t>{7, 42}));
-  EXPECT_EQ(in.value_or(1, 99), 99u);
+  EXPECT_EQ(std::vector<std::uint64_t>(ms.begin(), ms.end()),
+            (std::vector<std::uint64_t>{7, 42}));
+  EXPECT_EQ(in.value_or(1, 99), 99u);  // port 1 = silent neighbor 2
 }
 
 TEST(TransportTest, CongestCapEnforced) {
   const Transport t(Model::CONGEST, 8);
-  Outbox out(2);
+  ArenaHarness h(graph::path(3));  // vertex 1 has two ports
+  auto out = h.outbox(1);
   out.send(0, {200, 8});
   EXPECT_NO_THROW(t.validate(out));
-  Outbox wide(2);
+  ArenaHarness hw(graph::path(3));
+  auto wide = hw.outbox(1);
   wide.send(0, {512, 10});
   EXPECT_THROW(t.validate(wide), std::logic_error);
   // Multiple words on one port count together.
-  Outbox multi(1);
+  ArenaHarness hm(graph::path(2));
+  auto multi = hm.outbox(0);
   multi.send(0, {1, 5});
   multi.send(0, {1, 5});
   EXPECT_THROW(t.validate(multi), std::logic_error);
@@ -50,27 +72,32 @@ TEST(TransportTest, CongestCapEnforced) {
 
 TEST(TransportTest, DeclaredWidthMustCoverValue) {
   const Transport t(Model::LOCAL);
-  Outbox out(1);
+  ArenaHarness h(graph::path(2));
+  auto out = h.outbox(0);
   out.send(0, {256, 8});  // 256 needs 9 bits
   EXPECT_THROW(t.validate(out), std::logic_error);
 }
 
 TEST(TransportTest, SetLocalForbidsDirectedSends) {
   const Transport t(Model::SET_LOCAL);
-  Outbox dir(2);
+  ArenaHarness h(graph::path(3));
+  auto dir = h.outbox(1);
   dir.send(0, {1, 1});
   EXPECT_THROW(t.validate(dir), std::logic_error);
-  Outbox bc(2);
+  ArenaHarness hb(graph::path(3));
+  auto bc = hb.outbox(1);
   bc.broadcast({1, 1});
   EXPECT_NO_THROW(t.validate(bc));
 }
 
 TEST(TransportTest, BitModelOneBit) {
   const Transport t(Model::BIT);
-  Outbox out(1);
+  ArenaHarness h(graph::path(2));
+  auto out = h.outbox(0);
   out.send(0, {1, 1});
   EXPECT_NO_THROW(t.validate(out));
-  Outbox two(1);
+  ArenaHarness ht(graph::path(2));
+  auto two = ht.outbox(0);
   two.send(0, {2, 2});
   EXPECT_THROW(t.validate(two), std::logic_error);
 }
@@ -78,11 +105,12 @@ TEST(TransportTest, BitModelOneBit) {
 /// Echo program: broadcasts its id, records the multiset it hears.
 class EchoProgram final : public VertexProgram {
  public:
-  void on_send(const VertexEnv& env, Outbox& out) override {
+  void on_send(const VertexEnv& env, OutboxRef& out) override {
     out.broadcast({env.padded_id, width_of(env.id_space - 1)});
   }
-  void on_receive(const VertexEnv&, const Inbox& in) override {
-    heard = in.multiset();
+  void on_receive(const VertexEnv&, const InboxRef& in) override {
+    const auto ms = in.multiset();  // scratch-backed: copy out of the view
+    heard.assign(ms.begin(), ms.end());
   }
   std::vector<std::uint64_t> heard;
 };
@@ -142,8 +170,10 @@ TEST(EngineTest, DynamicTopology) {
 /// Program with one RAM word, for adversary tests.
 class RamProgram final : public VertexProgram {
  public:
-  void on_send(const VertexEnv&, Outbox& out) override { out.broadcast({word, 64}); }
-  void on_receive(const VertexEnv&, const Inbox&) override {}
+  void on_send(const VertexEnv&, OutboxRef& out) override {
+    out.broadcast({word, 64});
+  }
+  void on_receive(const VertexEnv&, const InboxRef&) override {}
   std::span<std::uint64_t> ram() override { return {&word, 1}; }
   std::uint64_t word = 7;
 };
