@@ -59,7 +59,7 @@ void logstar_sweep() {
     t.add_row({benchutil::num(f),
                benchutil::num(std::uint64_t(math::log_star(f * g.n()))),
                benchutil::num(std::uint64_t{rep.rounds_linial}),
-               benchutil::num(std::uint64_t{rep.total_rounds}),
+               benchutil::num(std::uint64_t{rep.rounds}),
                benchutil::num(std::uint64_t{rep.palette})});
   }
   t.print();

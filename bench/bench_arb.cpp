@@ -20,6 +20,14 @@ namespace {
 /// Execution backend from --threads/AGC_THREADS (null = sequential engine).
 std::shared_ptr<runtime::RoundExecutor> g_exec;
 
+/// The unified options spelling of the same backend, for RunOptions entry
+/// points.
+runtime::RunOptions run_opts() {
+  runtime::RunOptions o;
+  o.executor = g_exec;
+  return o;
+}
+
 void p_sweep() {
   std::printf("-- E6a: ArbAG p-sweep at Delta=64 (n=900) — rounds ~ Delta/p, "
               "classes ~ Delta/p, arbdefect <= p + seed defect --\n\n");
@@ -27,7 +35,7 @@ void p_sweep() {
                       "arbdefect witness", "p+seed defect", "converged"});
   const auto g = graph::random_regular(900, 64, 21);
   for (std::size_t p : {1, 2, 4, 8, 16, 32}) {
-    const auto arb = arb::arbdefective_color(g, p, g.n(), g_exec);
+    const auto arb = arb::arbdefective_color(g, p, g.n(), run_opts());
     t.add_row({benchutil::num(std::uint64_t{p}),
                benchutil::num(std::uint64_t{arb.rounds}),
                benchutil::num(std::uint64_t{arb.window}),
@@ -47,7 +55,7 @@ void delta_sweep() {
     const auto g = graph::random_regular(900, delta, delta);
     std::size_t p = 1;
     while ((p + 1) * (p + 1) <= delta) ++p;
-    const auto arb = arb::arbdefective_color(g, p, g.n(), g_exec);
+    const auto arb = arb::arbdefective_color(g, p, g.n(), run_opts());
     t.add_row({benchutil::num(std::uint64_t{delta}), benchutil::num(std::uint64_t{p}),
                benchutil::num(std::uint64_t{arb.rounds}),
                benchutil::num(std::uint64_t{arb.window}),
@@ -64,8 +72,8 @@ void eps_and_sublinear() {
                       "AG pipeline rounds", "all proper"});
   for (std::size_t delta : {16, 32, 64, 128}) {
     const auto g = graph::random_regular(900, delta, 2 * delta + 1);
-    const auto eps = arb::eps_delta_coloring(g, 0.5, g.n(), g_exec);
-    const auto sub = arb::sublinear_delta_plus_one(g, g.n(), g_exec);
+    const auto eps = arb::eps_delta_coloring(g, 0.5, g.n(), run_opts());
+    const auto sub = arb::sublinear_delta_plus_one(g, g.n(), run_opts());
     coloring::PipelineOptions popts;
     popts.iter.executor = g_exec;
     const auto ag = coloring::color_delta_plus_one(g, popts);
@@ -73,7 +81,7 @@ void eps_and_sublinear() {
                benchutil::num(std::uint64_t{eps.rounds}),
                benchutil::num(std::uint64_t{eps.palette}),
                benchutil::num(std::uint64_t{sub.rounds}),
-               benchutil::num(std::uint64_t{ag.total_rounds}),
+               benchutil::num(std::uint64_t{ag.rounds}),
                eps.proper && sub.proper && ag.proper ? "yes" : "NO"});
   }
   t.print();
@@ -94,9 +102,9 @@ void threshold_ablation() {
     const auto ag = coloring::color_o_delta(g, popts);
     std::size_t p = 1;
     while ((p + 1) * (p + 1) <= delta) ++p;
-    const auto arb = arb::arbdefective_color(g, p, g.n(), g_exec);
+    const auto arb = arb::arbdefective_color(g, p, g.n(), run_opts());
     t.add_row({benchutil::num(std::uint64_t{delta}),
-               benchutil::num(std::uint64_t{ag.total_rounds}),
+               benchutil::num(std::uint64_t{ag.rounds}),
                benchutil::num(std::uint64_t{arb.rounds})});
   }
   t.print();

@@ -42,7 +42,7 @@ void congest_sweep() {
       coloring::PipelineOptions popts;
       popts.iter.executor = g_exec;
       const auto kw = coloring::color_kuhn_wattenhofer(lg.graph, popts);
-      kw_rounds = benchutil::num(std::uint64_t{2 * kw.total_rounds});
+      kw_rounds = benchutil::num(std::uint64_t{2 * kw.rounds});
     }
 
     t.add_row({benchutil::num(std::uint64_t{delta}),

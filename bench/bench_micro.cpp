@@ -15,6 +15,8 @@
 #include "agc/math/polynomial.hpp"
 #include "agc/math/primes.hpp"
 #include "agc/exec/executor.hpp"
+#include "agc/obs/event_sink.hpp"
+#include "agc/obs/phase_timer.hpp"
 #include "agc/runtime/engine.hpp"
 #include "agc/runtime/iterative.hpp"
 #include "bench_gbench.hpp"
@@ -153,9 +155,13 @@ class BroadcastFoldProgram final : public runtime::VertexProgram {
 };
 
 void message_path_rounds(benchmark::State& state, const graph::Graph& g,
-                         runtime::Model model, std::size_t threads) {
+                         runtime::Model model, std::size_t threads,
+                         obs::PhaseProfile* profile = nullptr,
+                         obs::EventSink* sink = nullptr) {
   runtime::Engine engine(g, runtime::Transport(model));
   engine.set_executor(exec::make_executor(threads));
+  engine.set_profile(profile);
+  engine.set_sink(sink);
   engine.install([](const runtime::VertexEnv&) {
     return std::make_unique<BroadcastFoldProgram>();
   });
@@ -186,6 +192,20 @@ void BM_MessagePathGnp(benchmark::State& state) {
 }
 BENCHMARK(BM_MessagePathGnp)->Arg(8)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMillisecond);
+
+// The same loop with full observability attached: per-shard phase timers and
+// a preallocated ring sink.  The plain BM_MessagePathRegular rows above ARE
+// the null-sink configuration (timers compiled in, disabled behind one
+// branch); this row documents the enabled cost, so the gap between the two is
+// the whole price of the obs subsystem when someone turns it on.
+void BM_MessagePathObserved(benchmark::State& state) {
+  const auto delta = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_regular(4096, delta, 97 + delta);
+  obs::PhaseProfile profile;
+  obs::RingSink sink(1024);
+  message_path_rounds(state, g, runtime::Model::SET_LOCAL, 1, &profile, &sink);
+}
+BENCHMARK(BM_MessagePathObserved)->Arg(64)->Unit(benchmark::kMillisecond);
 
 // The same loop on the exec backend's threads (--threads/AGC_THREADS).
 void BM_MessagePathRegularThreaded(benchmark::State& state) {

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
       speedup = r.wall_s > 0 ? seq.wall_s / r.wall_s : 0.0;
       speedup_cell = benchutil::num(speedup) + "x";
       if (seq.ag.colors != r.ag.colors ||
-          seq.ag.total_rounds != r.ag.total_rounds ||
+          seq.ag.rounds != r.ag.rounds ||
           seq.ag.metrics.total_bits != r.ag.metrics.total_bits) {
         std::printf("DETERMINISM VIOLATION at Delta=%zu\n", delta);
         return 1;
@@ -93,19 +93,19 @@ int main(int argc, char** argv) {
     const bool li = r.gps.proper_each_round && r.kw.proper_each_round &&
                     r.ag.proper_each_round && r.ex.proper_each_round;
     table.add_row({benchutil::num(std::uint64_t{delta}),
-                   benchutil::num(std::uint64_t{r.gps.total_rounds}),
-                   benchutil::num(std::uint64_t{r.kw.total_rounds}),
-                   benchutil::num(std::uint64_t{r.ag.total_rounds}),
-                   benchutil::num(std::uint64_t{r.ex.total_rounds}),
+                   benchutil::num(std::uint64_t{r.gps.rounds}),
+                   benchutil::num(std::uint64_t{r.kw.rounds}),
+                   benchutil::num(std::uint64_t{r.ag.rounds}),
+                   benchutil::num(std::uint64_t{r.ex.rounds}),
                    benchutil::num(std::uint64_t{r.ag.palette}),
                    ok && li ? "yes" : "NO", benchutil::num(r.wall_s),
                    speedup_cell});
     json.row()
         .kv("delta", std::uint64_t{delta})
-        .kv("rounds_gps", std::uint64_t{r.gps.total_rounds})
-        .kv("rounds_kw", std::uint64_t{r.kw.total_rounds})
-        .kv("rounds_ag", std::uint64_t{r.ag.total_rounds})
-        .kv("rounds_ag_exact", std::uint64_t{r.ex.total_rounds})
+        .kv("rounds_gps", std::uint64_t{r.gps.rounds})
+        .kv("rounds_kw", std::uint64_t{r.kw.rounds})
+        .kv("rounds_ag", std::uint64_t{r.ag.rounds})
+        .kv("rounds_ag_exact", std::uint64_t{r.ex.rounds})
         .kv("palette", std::uint64_t{r.ag.palette})
         .kv("messages_ag", r.ag.metrics.messages)
         .kv("total_bits_ag", r.ag.metrics.total_bits)

@@ -1,13 +1,16 @@
 // Quickstart: (Delta+1)-color a graph with the locally-iterative AG pipeline
 // (Corollary 3.6) and inspect the run report.
 //
-//   $ ./quickstart [n] [delta] [seed]
+//   $ ./quickstart [n] [delta] [seed] [trace.jsonl]
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 
 #include "agc/coloring/pipeline.hpp"
 #include "agc/graph/generators.hpp"
+#include "agc/obs/event_sink.hpp"
 
 int main(int argc, char** argv) {
   using namespace agc;
@@ -19,15 +22,27 @@ int main(int argc, char** argv) {
   const graph::Graph g = graph::random_regular(n, delta, seed);
   std::printf("graph: n=%zu m=%zu Delta=%zu\n", g.n(), g.m(), g.max_degree());
 
-  // 2. Run the pipeline: Linial's reduction to O(Delta^2) colors in log* n
+  // 2. One RunOptions drives every entry point in the library.  Here: collect
+  //    per-phase timings, and stream structured run events as JSONL (analyze
+  //    with `agc-trace summary quickstart.jsonl`) when a path is given.
+  runtime::RunOptions run;
+  run.collect_phase_times = true;
+  std::ofstream trace_out;
+  obs::JsonlSink trace(trace_out);
+  if (argc > 4) {
+    trace_out.open(argv[4]);
+    run.sink = &trace;
+  }
+
+  // 3. Run the pipeline: Linial's reduction to O(Delta^2) colors in log* n
   //    rounds, the additive-group algorithm down to O(Delta), and the final
   //    O(Delta)-round reduction to exactly Delta+1.
-  const coloring::PipelineReport rep = coloring::color_delta_plus_one(g);
+  const coloring::PipelineReport rep = coloring::color_delta_plus_one(g, run);
 
-  // 3. Everything worth knowing is in the report.
+  // 4. Everything worth knowing is in the report.
   std::printf("rounds: linial=%zu  ag=%zu  reduce=%zu  total=%zu\n",
               rep.rounds_linial, rep.rounds_core, rep.rounds_finish,
-              rep.total_rounds);
+              rep.rounds);
   std::printf("palette: %zu colors (Delta+1 = %zu)\n", rep.palette, delta + 1);
   std::printf("proper: %s   proper after EVERY round (locally-iterative): %s\n",
               rep.proper ? "yes" : "no", rep.proper_each_round ? "yes" : "no");
@@ -35,7 +50,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rep.metrics.messages),
               static_cast<unsigned long long>(rep.metrics.total_bits));
 
-  // 4. The colors themselves.
+  // 5. The phase breakdown collected through RunOptions, as one telemetry
+  //    registry (counters + per-phase times + derived gauges).
+  rep.telemetry().write_summary(std::cout);
+
+  // 6. The colors themselves.
   std::printf("first vertices: ");
   for (graph::Vertex v = 0; v < 10 && v < g.n(); ++v) {
     std::printf("v%u=%llu ", v, static_cast<unsigned long long>(rep.colors[v]));

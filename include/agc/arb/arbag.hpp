@@ -55,22 +55,30 @@ class ArbAgRule final : public runtime::IterativeRule {
   std::size_t p_;
 };
 
-struct ArbdefectiveResult {
+/// RunReport core (rounds = AG + seed rounds as measured, converged, metrics,
+/// telemetry) plus the arbdefective classes and their witnesses.
+struct ArbdefectiveResult : runtime::RunReport {
   std::vector<Color> classes;                ///< final b-values, < num_classes
   std::vector<std::size_t> finalize_round;   ///< freeze round per vertex
   std::uint64_t num_classes = 0;             ///< q = O(Delta/p)
-  std::size_t rounds = 0;                    ///< AG rounds + seed rounds (measured)
   std::size_t window = 0;                    ///< worst-case AG rounds, 2*ceil(D/p)+1
   std::size_t seed_rounds = 0;
   std::size_t seed_defect = 0;
-  bool converged = false;
 };
 
-/// Compute an O(p)-arbdefective O(Delta/p)-coloring of g.  `executor` picks
-/// the engine backend (null = sequential; results are identical either way).
+/// Compute an O(p)-arbdefective O(Delta/p)-coloring of g.  `opts` supplies
+/// the unified run configuration (executor backend, adversary, observability
+/// hooks); the AG stage's round cap is the algorithm's own window, so
+/// RunOptions::max_rounds is ignored.
 [[nodiscard]] ArbdefectiveResult arbdefective_color(
     const graph::Graph& g, std::size_t p, std::uint64_t id_space,
-    std::shared_ptr<runtime::RoundExecutor> executor = nullptr);
+    const runtime::RunOptions& opts = {});
+
+/// Pre-RunOptions spelling; forwards the bare executor into RunOptions.
+[[deprecated("pass RunOptions instead of a bare executor")]]
+[[nodiscard]] ArbdefectiveResult arbdefective_color(
+    const graph::Graph& g, std::size_t p, std::uint64_t id_space,
+    std::shared_ptr<runtime::RoundExecutor> executor);
 
 /// The witness orientation of Lemma 6.2: monochromatic edges point toward
 /// the endpoint with the lexicographically smaller (finalize_round, id); its

@@ -27,24 +27,34 @@
 
 namespace agc::arb {
 
-struct ClasswiseResult {
+/// RunReport core (rounds = seed + ArbAG + class phases) plus the coloring.
+struct ClasswiseResult : runtime::RunReport {
   std::vector<Color> colors;
-  std::size_t rounds = 0;      ///< total: seed + ArbAG + class phases
   std::size_t arb_rounds = 0;  ///< seed + ArbAG part
   std::size_t palette = 0;     ///< distinct colors used
   bool proper = false;
-  bool converged = false;
 };
 
 /// Proper coloring with palette floor((1+eps)*Delta)+1, eps >= 0.
 [[nodiscard]] ClasswiseResult eps_delta_coloring(
     const graph::Graph& g, double eps, std::uint64_t id_space = 0,
-    std::shared_ptr<runtime::RoundExecutor> executor = nullptr);
+    const runtime::RunOptions& opts = {});
 
 /// Proper (Delta+1)-coloring via the same machinery with zero palette slack
 /// and beta = sqrt(Delta / log Delta) (the Theorem 6.4 parameterization).
 [[nodiscard]] ClasswiseResult sublinear_delta_plus_one(
     const graph::Graph& g, std::uint64_t id_space = 0,
-    std::shared_ptr<runtime::RoundExecutor> executor = nullptr);
+    const runtime::RunOptions& opts = {});
+
+/// Pre-RunOptions spellings; forward the bare executor into RunOptions.
+[[deprecated("pass RunOptions instead of a bare executor")]]
+[[nodiscard]] ClasswiseResult eps_delta_coloring(
+    const graph::Graph& g, double eps, std::uint64_t id_space,
+    std::shared_ptr<runtime::RoundExecutor> executor);
+
+[[deprecated("pass RunOptions instead of a bare executor")]]
+[[nodiscard]] ClasswiseResult sublinear_delta_plus_one(
+    const graph::Graph& g, std::uint64_t id_space,
+    std::shared_ptr<runtime::RoundExecutor> executor);
 
 }  // namespace agc::arb

@@ -30,23 +30,38 @@
 namespace agc::coloring {
 
 struct PipelineOptions {
+  PipelineOptions() = default;
+  /// A bare RunOptions parameterizes the pipeline's iterative stages, so the
+  /// same options object drives any entry point in the library.
+  /*implicit*/ PipelineOptions(const runtime::RunOptions& base) : iter(base) {}
+
   runtime::IterativeOptions iter;
   /// ID space = id_space_factor * n; sweeping it exercises the log* term.
   std::uint64_t id_space_factor = 1;
+
+  /// The unified RunOptions core the stages run under (== iter's base).
+  [[nodiscard]] runtime::RunOptions& run() noexcept { return iter; }
+  [[nodiscard]] const runtime::RunOptions& run() const noexcept { return iter; }
 };
 
-struct PipelineReport {
+/// RunReport core (rounds, converged, metrics, telemetry) plus the coloring,
+/// the palette size and the per-stage round split.
+// The pragma scopes the deprecation to explicit uses of total_rounds: without
+// it the member's default initializer makes the implicitly-defined special
+// members warn in every translation unit that merely copies a report.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+struct PipelineReport : runtime::RunReport {
   std::vector<Color> colors;
   std::size_t palette = 0;        ///< number of distinct colors used
   std::size_t rounds_linial = 0;  ///< log* phase
   std::size_t rounds_core = 0;    ///< AG / KW / greedy phase
   std::size_t rounds_finish = 0;  ///< final reduction phase (if any)
-  std::size_t total_rounds = 0;
-  bool converged = false;
+  [[deprecated("use RunReport::rounds")]] std::size_t total_rounds = 0;
   bool proper = false;
   bool proper_each_round = false;  ///< the locally-iterative invariant
-  runtime::Metrics metrics;
 };
+#pragma GCC diagnostic pop
 
 [[nodiscard]] PipelineReport color_delta_plus_one(const graph::Graph& g,
                                                   const PipelineOptions& opts = {});

@@ -16,7 +16,9 @@
 
 namespace agc::coloring {
 
-struct MisReport {
+/// RunReport core (rounds = coloring + MIS wave, converged == valid) plus
+/// the membership flags and the per-phase round split.
+struct MisReport : runtime::RunReport {
   std::vector<bool> in_mis;
   std::size_t rounds_coloring = 0;
   std::size_t rounds_mis = 0;  ///< <= palette of the input coloring
@@ -34,9 +36,9 @@ struct MisReport {
 [[nodiscard]] MisReport maximal_independent_set(const graph::Graph& g,
                                                 const PipelineOptions& opts = {});
 
-struct MatchingReport {
+/// RunReport core; `rounds` counts line-graph rounds (2x in the host graph).
+struct MatchingReport : runtime::RunReport {
   std::vector<graph::Edge> matching;
-  std::size_t rounds = 0;  ///< line-graph rounds (2x in the host graph)
   bool valid = false;
 };
 
@@ -46,9 +48,9 @@ struct MatchingReport {
 [[nodiscard]] MatchingReport maximal_matching(const graph::Graph& g,
                                               const PipelineOptions& opts = {});
 
-struct LineEdgeColoringReport {
+/// RunReport core; `rounds` counts line-graph rounds.
+struct LineEdgeColoringReport : runtime::RunReport {
   std::vector<Color> colors;  ///< aligned with g.edges()
-  std::size_t rounds = 0;     ///< line-graph rounds
   std::size_t palette = 0;
   bool proper = false;
 };

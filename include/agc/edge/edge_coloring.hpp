@@ -9,6 +9,8 @@
 #include "agc/graph/checks.hpp"
 #include "agc/runtime/engine.hpp"
 #include "agc/runtime/metrics.hpp"
+#include "agc/runtime/run_options.hpp"
+#include "agc/runtime/run_report.hpp"
 
 /// \file edge_coloring.hpp
 /// The distributed (2*Delta-1)-edge-coloring of Section 5, in the CONGEST and
@@ -118,21 +120,24 @@ class EdgeColoringProgram final : public runtime::VertexProgram {
   std::vector<std::optional<std::uint64_t>> in_acc_;
 };
 
-struct EdgeColoringOptions {
+/// Unified RunOptions core (congest_bits, executor, adversary, observability
+/// hooks) plus the edge colorer's own switches.  The protocol fixes the
+/// communication model itself — CONGEST, or Bit-Round with `bit_round` set —
+/// so RunOptions::model is ignored here.
+struct EdgeColoringOptions : runtime::RunOptions {
+  EdgeColoringOptions() = default;
+  /*implicit*/ EdgeColoringOptions(const runtime::RunOptions& base)
+      : runtime::RunOptions(base) {}
+
   bool exact = true;      ///< finish at exactly 2*Delta-1 colors
   bool bit_round = false; ///< Bit-Round model: 1 bit per edge per round
-  std::uint32_t congest_bits = 64;
-  /// Execution backend for the engine (null = sequential; see src/exec).
-  std::shared_ptr<runtime::RoundExecutor> executor;
 };
 
-struct EdgeColoringResult {
+/// RunReport core plus the edge coloring and its bandwidth accounting.
+struct EdgeColoringResult : runtime::RunReport {
   std::vector<Color> colors;  ///< aligned with g.edges()
-  std::size_t rounds = 0;
   std::size_t palette = 0;
   bool proper = false;
-  bool converged = false;
-  runtime::Metrics metrics;
   double avg_bits_per_edge = 0.0;
   std::uint64_t max_bits_per_edge = 0;  ///< over directed edges
 };

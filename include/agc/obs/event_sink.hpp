@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "agc/obs/phase_timer.hpp"
+
+/// \file event_sink.hpp
+/// Pluggable structured event sinks for run telemetry.
+///
+/// Runners and the engine emit fixed-size Event records at round and stage
+/// boundaries; a sink decides what to do with them.  The default is no sink
+/// at all (a null pointer in RunOptions): emission is skipped behind one
+/// branch and the steady-state round loop stays allocation-free.  NullSink
+/// exists for call sites that want an EventSink& unconditionally; RingSink
+/// keeps the last N events in a preallocated buffer (also allocation-free at
+/// steady state, honoring the arena discipline of docs/EXEC.md); JsonlSink
+/// streams one JSON object per line for offline analysis with `agc-trace`.
+///
+/// Threading contract: events are emitted between round phases by the thread
+/// driving the engine, never from executor shards, so sinks need no locks.
+
+namespace agc::obs {
+
+enum class EventKind : std::uint8_t {
+  RunStart = 0,  ///< value = n (vertices); label = run tag
+  RoundEnd,      ///< value = directed messages delivered this round; ns = round wall
+  StageStart,    ///< value = stage index; label = stage tag
+  StageEnd,      ///< value = stage rounds; label = stage tag
+  Fault,         ///< value = adversary events injected; round = rounds so far
+  Check,         ///< value = 1 if the per-round predicate held, else 0
+  RunEnd,        ///< value = total rounds; ns = run wall
+  kCount,
+};
+
+[[nodiscard]] std::string_view event_kind_name(EventKind k) noexcept;
+
+/// A fixed-size, trivially-copyable event record.  `label` must point at
+/// storage that outlives the sink's consumption of the event; emitters use
+/// string literals (stage tags, adversary names).
+struct Event {
+  EventKind kind = EventKind::RoundEnd;
+  std::uint64_t round = 0;      ///< engine rounds completed when emitted
+  const char* label = nullptr;  ///< static tag, may be null
+  std::uint64_t value = 0;      ///< kind-specific payload (see EventKind)
+  std::uint64_t ns = 0;         ///< kind-specific wall time, 0 if n/a
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const Event& event) = 0;
+};
+
+/// Swallows everything.  Behaviorally identical to passing no sink; exists so
+/// APIs that want a non-null EventSink& have a canonical off state.
+class NullSink final : public EventSink {
+ public:
+  void emit(const Event&) override {}
+};
+
+/// Fixed-capacity in-memory ring: keeps the newest `capacity` events, never
+/// allocates after construction.
+class RingSink final : public EventSink {
+ public:
+  explicit RingSink(std::size_t capacity);
+
+  void emit(const Event& event) override;
+
+  /// Total events ever emitted (>= stored count).
+  [[nodiscard]] std::size_t seen() const noexcept { return seen_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// The retained events, oldest first.  Allocates; not for the hot path.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+ private:
+  std::vector<Event> buf_;
+  std::size_t next_ = 0;  ///< next write slot
+  std::size_t seen_ = 0;
+};
+
+/// Append `in` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters as \uXXXX; multi-byte UTF-8 passes through).
+void json_escape(std::string_view in, std::string& out);
+
+/// One JSON object per line, e.g.
+///   {"kind":"round_end","round":12,"value":4096,"ns":18234}
+/// The stream must outlive the sink.  Buffers one line at a time; reuses the
+/// line buffer so steady-state emission does not allocate once the longest
+/// line has been seen.
+class JsonlSink final : public EventSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+
+  void emit(const Event& event) override;
+
+  [[nodiscard]] std::size_t lines() const noexcept { return lines_; }
+
+ private:
+  std::ostream* out_;
+  std::string line_;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace agc::obs

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "agc/obs/phase_timer.hpp"
+
+/// \file telemetry.hpp
+/// The unified counters/gauges registry a run exports.
+///
+/// Metrics (rounds/messages/bits), the per-edge bit ledger's maximum, the
+/// trace recorder's convergence gauges and the phase timers all count things
+/// about one run; Telemetry is the single object that collects them, reached
+/// through RunReport::telemetry().  It is assembled once at run end (so it
+/// may allocate freely) and renders itself as JSON or as a per-phase
+/// flamegraph-style summary for terminals and `agc-trace`.
+
+namespace agc::obs {
+
+struct TelemetryCounter {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+class Telemetry {
+ public:
+  /// Folded phase timings (all-zero when phase collection was off).
+  PhaseStats phases;
+  /// End-to-end wall time of the run, including runner-side work.
+  std::uint64_t wall_ns = 0;
+
+  /// Set (or overwrite) a named counter.
+  void set(std::string_view name, std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t get(std::string_view name,
+                                  std::uint64_t dflt = 0) const noexcept;
+
+  [[nodiscard]] const std::vector<TelemetryCounter>& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Derived gauge: rounds per wall second (0 when either is unknown).
+  [[nodiscard]] double rounds_per_sec() const noexcept;
+
+  /// One JSON object: counters, wall_ns, and a nested phases object with ns
+  /// and call counts per phase.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Terminal flamegraph-style view: one bar per phase, widest first, with
+  /// percentages of the total attributed time.
+  void write_summary(std::ostream& out, std::size_t width = 44) const;
+
+ private:
+  std::vector<TelemetryCounter> counters_;
+};
+
+}  // namespace agc::obs

@@ -20,6 +20,11 @@
 /// also hosts the adversary interface for the fully-dynamic self-stabilizing
 /// setting: RAM corruption, edge churn and vertex churn between rounds.
 
+namespace agc::obs {
+class EventSink;     // obs/event_sink.hpp
+class PhaseProfile;  // obs/phase_timer.hpp
+}  // namespace agc::obs
+
 namespace agc::runtime {
 
 /// Hard-wired, fault-free per-vertex knowledge: the paper's ROM contents
@@ -133,6 +138,19 @@ class Engine {
     observer_ = std::move(obs);
   }
 
+  // --- Observability hooks (src/obs; wired by runners from RunOptions) -----
+
+  /// Per-shard phase-timing accumulator (non-owning; null = timing off, the
+  /// default — each phase then costs one branch and no clock read).
+  void set_profile(obs::PhaseProfile* profile) noexcept { profile_ = profile; }
+  [[nodiscard]] obs::PhaseProfile* profile() const noexcept { return profile_; }
+
+  /// Structured event sink (non-owning; null = no events).  The engine emits
+  /// one RoundEnd event per step carrying the cumulative message count;
+  /// runners layer run/stage/fault events on top.
+  void set_sink(obs::EventSink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] obs::EventSink* sink() const noexcept { return sink_; }
+
   // --- Adversary interface (fully-dynamic self-stabilizing setting) -------
 
   /// Overwrite one RAM word of v.  No-op if the program exposes no RAM.
@@ -166,6 +184,8 @@ class Engine {
   MailboxArena arena_;
   std::shared_ptr<RoundExecutor> executor_;
   std::function<void(const Engine&, std::size_t)> observer_;
+  obs::PhaseProfile* profile_ = nullptr;
+  obs::EventSink* sink_ = nullptr;
 };
 
 }  // namespace agc::runtime

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "agc/graph/generators.hpp"
 #include "agc/runtime/engine.hpp"
@@ -13,6 +14,12 @@
 /// promises are that the bounds on n and Delta hold and that faults
 /// eventually stop.  Stabilization time is measured from the last adversary
 /// event.
+///
+/// Two layers live here: the low-level `Adversary` toolbox of fault
+/// primitives (corrupt / clone / churn), and the `FaultAdversary` hook that
+/// RunOptions threads through every entry point — iterative, pipeline, edge
+/// and selfstab runs alike — so fault injection is no longer a selfstab-only
+/// capability driven by hand.
 
 namespace agc::runtime {
 
@@ -45,6 +52,62 @@ class Adversary {
  private:
   graph::Rng rng_;
   std::size_t events_ = 0;
+};
+
+/// The hook RunOptions::adversary points at.  Runners call inject() between
+/// rounds (after deliver/receive, before the next send) with the 1-based
+/// index of the round that just completed; the return value is the number of
+/// fault events injected this call, which the runner adds to
+/// RunReport::fault_events and uses to decide whether stabilization clocks
+/// must reset.
+///
+/// Implementations may mutate RAM words and churn edges; runners that mirror
+/// program state (e.g. the iterative harness) resynchronize after a non-zero
+/// return.  Adding vertices mid-run is only supported by the selfstab
+/// runners.
+class FaultAdversary {
+ public:
+  virtual ~FaultAdversary() = default;
+
+  virtual std::size_t inject(Engine& engine, std::size_t round) = 0;
+
+  /// Static-lifetime label used in emitted fault events.
+  [[nodiscard]] virtual const char* name() const noexcept { return "adversary"; }
+};
+
+/// Deterministic, seeded adversary that fires every `period` rounds up to
+/// `last_round` (inclusive), then goes quiet — matching the paper's promise
+/// that faults eventually stop.  Each firing applies the configured mix of
+/// primitives from the `Adversary` toolbox.
+class PeriodicAdversary final : public FaultAdversary {
+ public:
+  struct Schedule {
+    std::size_t period = 1;       ///< fire when round % period == 0
+    std::size_t last_round =      ///< quiesce after this round
+        std::numeric_limits<std::size_t>::max();
+    std::size_t corrupt = 0;        ///< vertices to corrupt_random per firing
+    std::uint64_t value_range = 0;  ///< corruption value range (0 = full word)
+    std::size_t clones = 0;         ///< vertices to clone_neighbor per firing
+    std::size_t edge_adds = 0;      ///< edges to insert per firing
+    std::size_t edge_removes = 0;   ///< edges to delete per firing
+    std::size_t dmax = 0;           ///< degree cap for edge churn
+  };
+
+  PeriodicAdversary(std::uint64_t seed, Schedule schedule)
+      : adversary_(seed), schedule_(schedule) {}
+
+  std::size_t inject(Engine& engine, std::size_t round) override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "periodic"; }
+
+  [[nodiscard]] const Schedule& schedule() const noexcept { return schedule_; }
+  [[nodiscard]] std::size_t total_events() const noexcept {
+    return adversary_.events();
+  }
+
+ private:
+  Adversary adversary_;
+  Schedule schedule_;
 };
 
 }  // namespace agc::runtime

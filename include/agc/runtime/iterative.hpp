@@ -9,6 +9,8 @@
 #include "agc/graph/checks.hpp"
 #include "agc/graph/graph.hpp"
 #include "agc/runtime/engine.hpp"
+#include "agc/runtime/run_options.hpp"
+#include "agc/runtime/run_report.hpp"
 
 /// \file iterative.hpp
 /// The locally-iterative harness.
@@ -46,27 +48,26 @@ class IterativeRule {
   [[nodiscard]] virtual std::uint32_t color_bits() const = 0;
 };
 
-struct IterativeOptions {
-  Model model = Model::SET_LOCAL;
-  std::uint32_t congest_bits = 64;
-  std::size_t max_rounds = 1'000'000;
+/// Harness configuration: the unified RunOptions core (model, congest_bits,
+/// max_rounds, executor, adversary, observability hooks) plus the fields only
+/// the locally-iterative harness understands.  Implicitly constructible from
+/// a bare RunOptions so a shared RunOptions can parameterize any entry point.
+struct IterativeOptions : RunOptions {
+  IterativeOptions() = default;
+  /*implicit*/ IterativeOptions(const RunOptions& base) : RunOptions(base) {}
+
   /// Assert (via the result flag) that every intermediate coloring is proper.
   bool check_proper_each_round = true;
   /// Observer invoked after every round with the current coloring (round 0 =
   /// the initial coloring, before any step).  Used by the trace recorder.
   std::function<void(std::size_t round, std::span<const Color>)> on_round;
-  /// Execution backend for the underlying engine (null = sequential).  The
-  /// exec subsystem's sharded backend yields bit-identical results for any
-  /// thread count, so this only affects wall-clock time.
-  std::shared_ptr<RoundExecutor> executor;
 };
 
-struct IterativeResult {
+/// RunReport core (rounds, converged, metrics, telemetry) plus the coloring
+/// itself and the harness's defining invariant flag.
+struct IterativeResult : RunReport {
   std::vector<Color> colors;
-  std::size_t rounds = 0;
-  bool converged = false;          ///< every color final within max_rounds
   bool proper_each_round = true;   ///< locally-iterative invariant held
-  Metrics metrics;
 };
 
 /// Run `rule` from the initial coloring until every color is final.

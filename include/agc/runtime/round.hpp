@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "agc/obs/phase_timer.hpp"
 #include "agc/runtime/engine.hpp"
 
 /// \file round.hpp
@@ -47,23 +48,33 @@ class RoundContext {
                const EngineOptions& opts,
                std::vector<std::unique_ptr<VertexProgram>>& programs,
                std::vector<VertexEnv>& envs, EdgeBitLedger& ledger,
-               MailboxArena& arena, std::uint64_t round);
+               MailboxArena& arena, std::uint64_t round,
+               obs::PhaseProfile* profile = nullptr);
 
   [[nodiscard]] std::size_t n() const noexcept { return graph_.n(); }
 
+  /// Null unless this round collects phase timings.  Shard s's phase methods
+  /// accumulate into profile()->shard(s); executors use it for barrier
+  /// accounting (into the extra set, driving thread only).
+  [[nodiscard]] obs::PhaseProfile* profile() const noexcept { return profile_; }
+
   /// Called once per round by the executor before any phase: sizes the
   /// arena's per-shard lanes and scratch (no-op at steady state).
-  void prepare(std::size_t shards) { arena_.ensure_shards(shards); }
+  void prepare(std::size_t shards) {
+    arena_.ensure_shards(shards);
+    if (profile_ != nullptr) profile_->ensure_shards(shards);
+  }
 
   /// Phase 1: refresh envs, reset the shard's ports and spill lane, collect
   /// and validate outgoing messages of senders [begin, end).
   void send(graph::Vertex begin, graph::Vertex end, std::size_t shard);
 
   /// Phase 2: account every message addressed to receivers [begin, end),
-  /// folding into `shard`.  Reads the frozen arena in place — nothing is
-  /// copied.  Requires send() to have completed for ALL vertices (the
-  /// executor's barrier).
-  void deliver(graph::Vertex begin, graph::Vertex end, Metrics& shard);
+  /// folding into `metrics`, executed by shard `shard`.  Reads the frozen
+  /// arena in place — nothing is copied.  Requires send() to have completed
+  /// for ALL vertices (the executor's barrier).
+  void deliver(graph::Vertex begin, graph::Vertex end, Metrics& metrics,
+               std::size_t shard);
 
   /// Fold per-shard deliver() accounting into `total`, in shard order.
   static void reduce(std::span<const Metrics> shards, Metrics& total);
@@ -82,6 +93,7 @@ class RoundContext {
   EdgeBitLedger& ledger_;
   MailboxArena& arena_;
   std::uint64_t round_;
+  obs::PhaseProfile* profile_;
 };
 
 /// Execution backend interface: runs the three phases of one round with

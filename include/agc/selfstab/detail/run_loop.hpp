@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+
+#include "agc/obs/event_sink.hpp"
+#include "agc/obs/phase_timer.hpp"
+#include "agc/runtime/engine.hpp"
+#include "agc/runtime/faults.hpp"
+#include "agc/runtime/run_options.hpp"
+#include "agc/runtime/run_report.hpp"
+
+/// \file run_loop.hpp
+/// The shared skeleton of the three `run_until_*` selfstab runners: drive the
+/// engine until a stability predicate holds, confirm quiescence, and wire the
+/// unified RunOptions hooks (fault adversary, event sink, phase timers) plus
+/// the RunReport accounting in exactly one place.
+///
+/// Stabilization time is measured from the last adversary event: every
+/// injection resets the rounds_to_stable clock, matching the paper's promise
+/// that faults eventually stop.  An adversary that never quiesces therefore
+/// never lets the loop terminate — PeriodicAdversary::Schedule::last_round is
+/// the enforcement knob.
+
+namespace agc::selfstab::detail {
+
+/// `Report` must expose rounds_to_stable/stabilized and derive RunReport.
+/// `stable` is the task predicate; `snapshot` captures the state compared
+/// across the confirmation window (any equality-comparable value).
+template <typename Report, typename Stable, typename Snapshot>
+void run_until(runtime::Engine& engine, const runtime::RunOptions& opts,
+               std::size_t confirm_rounds, Stable&& stable,
+               Snapshot&& snapshot, Report& rep) {
+  const std::uint64_t t0 = obs::monotonic_ns();
+  obs::PhaseProfile profile;
+  obs::PhaseProfile* const prev_profile = engine.profile();
+  obs::EventSink* const prev_sink = engine.sink();
+  obs::PhaseStats* extra = nullptr;
+  if (opts.collect_phase_times) {
+    engine.set_profile(&profile);
+    extra = profile.extra();
+  }
+  if (opts.sink != nullptr) {
+    engine.set_sink(opts.sink);
+    obs::Event ev;
+    ev.kind = obs::EventKind::RunStart;
+    ev.round = engine.rounds();
+    ev.label = opts.tag;
+    ev.value = engine.graph().n();
+    opts.sink->emit(ev);
+  }
+  const runtime::Metrics before = engine.metrics();
+
+  auto check = [&] {
+    obs::ScopedPhaseTimer timer(extra, obs::Phase::Check);
+    return stable();
+  };
+
+  std::size_t executed = 0;
+  bool ok = check();
+  while (rep.rounds_to_stable < opts.max_rounds && !ok) {
+    engine.step();
+    ++executed;
+    ++rep.rounds_to_stable;
+    if (opts.adversary != nullptr) {
+      std::size_t injected = 0;
+      {
+        obs::ScopedPhaseTimer timer(extra, obs::Phase::Fault);
+        injected = opts.adversary->inject(engine, executed);
+      }
+      if (injected > 0) {
+        rep.fault_events += injected;
+        rep.rounds_to_stable = 0;  // the clock restarts at the last fault
+        if (opts.sink != nullptr) {
+          obs::Event ev;
+          ev.kind = obs::EventKind::Fault;
+          ev.round = engine.rounds();
+          ev.label = opts.adversary->name();
+          ev.value = injected;
+          opts.sink->emit(ev);
+        }
+      }
+    }
+    ok = check();
+  }
+
+  if (ok) {
+    // Confirm quiescence: the configuration must be a fixed point.
+    const auto snap = snapshot();
+    rep.stabilized = true;
+    for (std::size_t i = 0; i < confirm_rounds; ++i) {
+      engine.step();
+      ++executed;
+      if (snapshot() != snap) {
+        rep.stabilized = false;  // not actually stable
+        break;
+      }
+    }
+  }
+
+  rep.rounds = executed;
+  rep.converged = rep.stabilized;
+  // This run's share of the engine's cumulative accounting.  The per-edge
+  // ledger never resets, so max_edge_bits stays the cumulative maximum.
+  const runtime::Metrics after = engine.metrics();
+  rep.metrics.rounds = after.rounds - before.rounds;
+  rep.metrics.messages = after.messages - before.messages;
+  rep.metrics.total_bits = after.total_bits - before.total_bits;
+  rep.metrics.max_edge_bits = after.max_edge_bits;
+  if (opts.collect_phase_times) {
+    engine.set_profile(prev_profile);
+    rep.phases = profile.folded();
+  }
+  rep.wall_ns = obs::monotonic_ns() - t0;
+  if (opts.sink != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::RunEnd;
+    ev.round = engine.rounds();
+    ev.label = opts.tag;
+    ev.value = rep.rounds;
+    ev.ns = rep.wall_ns;
+    opts.sink->emit(ev);
+    engine.set_sink(prev_sink);
+  }
+}
+
+}  // namespace agc::selfstab::detail

@@ -9,6 +9,8 @@
 #include "agc/coloring/ag3.hpp"
 #include "agc/coloring/linial.hpp"
 #include "agc/runtime/engine.hpp"
+#include "agc/runtime/run_options.hpp"
+#include "agc/runtime/run_report.hpp"
 
 /// \file ss_coloring.hpp
 /// The fully-dynamic self-stabilizing coloring algorithm (Section 4.1 of the
@@ -125,7 +127,10 @@ class SsColoringProgram final : public runtime::VertexProgram {
 /// any program whose RAM word 0 is the color).
 [[nodiscard]] std::vector<Color> current_colors(runtime::Engine& engine);
 
-struct StabilizationReport {
+/// RunReport core (rounds = engine rounds this call executed including the
+/// confirmation window, converged == stabilized, per-run Metrics) plus the
+/// stabilization clock.
+struct StabilizationReport : runtime::RunReport {
   std::size_t rounds_to_stable = 0;  ///< rounds after the last fault
   bool stabilized = false;
   std::vector<Color> colors;
@@ -133,7 +138,18 @@ struct StabilizationReport {
 
 /// Run the engine until the coloring is proper with every color in the final
 /// palette, then keep going `confirm_rounds` more rounds asserting it stays
-/// that way.  Measures stabilization time from the current state.
+/// that way.  Measures stabilization time from the current state — or, when
+/// `opts.adversary` is set, from the last injected fault (every injection
+/// resets the clock; the adversary must eventually quiesce, e.g. via
+/// PeriodicAdversary::Schedule::last_round).  RunOptions also supplies the
+/// round budget and the observability hooks (attached to the engine for the
+/// duration of the call, then restored).
+[[nodiscard]] StabilizationReport run_until_stable(runtime::Engine& engine,
+                                                   const SsConfig& cfg,
+                                                   const runtime::RunOptions& opts,
+                                                   std::size_t confirm_rounds = 8);
+
+/// Convenience spelling: a bare round budget, no adversary, no hooks.
 [[nodiscard]] StabilizationReport run_until_stable(runtime::Engine& engine,
                                                    const SsConfig& cfg,
                                                    std::size_t max_rounds,

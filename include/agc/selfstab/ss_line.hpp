@@ -91,13 +91,20 @@ class SsLineProgram final : public runtime::VertexProgram {
 /// Matched edges (replica status == kMis at the smaller endpoint).
 [[nodiscard]] std::vector<graph::Edge> current_matching(runtime::Engine& engine);
 
-struct LineStabilizationReport {
+struct LineStabilizationReport : runtime::RunReport {
   std::size_t rounds_to_stable = 0;  ///< engine rounds (2 per algorithm round)
   bool stabilized = false;
 };
 
 /// Run until the task's predicate holds (proper final-palette edge coloring,
-/// or maximal matching with stable colors) and is a fixed point.
+/// or maximal matching with stable colors) and is a fixed point.  RunOptions
+/// supplies the round budget, fault adversary (injections reset the
+/// stabilization clock) and observability hooks; see run_until_stable.
+[[nodiscard]] LineStabilizationReport run_until_line_stable(
+    runtime::Engine& engine, const SsLineConfig& cfg,
+    const runtime::RunOptions& opts, std::size_t confirm_rounds = 8);
+
+/// Convenience spelling: a bare round budget, no adversary, no hooks.
 [[nodiscard]] LineStabilizationReport run_until_line_stable(
     runtime::Engine& engine, const SsLineConfig& cfg, std::size_t max_rounds,
     std::size_t confirm_rounds = 8);

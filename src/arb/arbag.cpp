@@ -24,9 +24,9 @@ Color ArbAgRule::step(Color own, std::span<const Color> neighbors) const {
   return pack(psi, a, (b + a) % q_, q_);
 }
 
-ArbdefectiveResult arbdefective_color(
-    const graph::Graph& g, std::size_t p, std::uint64_t id_space,
-    std::shared_ptr<runtime::RoundExecutor> executor) {
+ArbdefectiveResult arbdefective_color(const graph::Graph& g, std::size_t p,
+                                      std::uint64_t id_space,
+                                      const runtime::RunOptions& opts) {
   ArbdefectiveResult result;
   const std::size_t n = g.n();
   const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
@@ -62,10 +62,9 @@ ArbdefectiveResult arbdefective_color(
   // Run on the engine (SET-LOCAL: the rule reads only the color multiset),
   // recording each vertex's freeze round for the Lemma 6.2 orientation.
   result.finalize_round.assign(n, 0);
-  runtime::IterativeOptions io;
-  io.executor = std::move(executor);
+  runtime::IterativeOptions io(opts);
   io.check_proper_each_round = false;  // ArbAG maintains arbdefective colorings
-  io.max_rounds = window;
+  io.max_rounds = window;              // the Lemma 6.1 bound, not a user cap
   io.on_round = [&](std::size_t round, std::span<const Color> colors) {
     if (round == 0) return;
     for (graph::Vertex v = 0; v < n; ++v) {
@@ -75,13 +74,21 @@ ArbdefectiveResult arbdefective_color(
     }
   };
   auto run = runtime::run_locally_iterative(g, std::move(init), rule, io);
+  static_cast<runtime::RunReport&>(result) = run;
   result.rounds = run.rounds + result.seed_rounds;
-  result.converged = run.converged;
   result.classes.resize(n);
   for (graph::Vertex v = 0; v < n; ++v) {
     result.classes[v] = rule.class_of(run.colors[v]);
   }
   return result;
+}
+
+ArbdefectiveResult arbdefective_color(
+    const graph::Graph& g, std::size_t p, std::uint64_t id_space,
+    std::shared_ptr<runtime::RoundExecutor> executor) {
+  runtime::RunOptions opts;
+  opts.executor = std::move(executor);
+  return arbdefective_color(g, p, id_space, opts);
 }
 
 graph::Orientation arb_orientation(const graph::Graph& g,

@@ -18,8 +18,11 @@ constexpr Color kUncolored = ~Color{0};
 ClasswiseResult classwise_color(const graph::Graph& g, const ArbdefectiveResult& arb,
                                 std::uint64_t palette_size) {
   ClasswiseResult result;
+  // Carry the arb stage's RunReport core (rounds, metrics, phase timings,
+  // fault events); convergence is decided by the class phases below.
+  static_cast<runtime::RunReport&>(result) = arb;
+  result.converged = false;
   result.arb_rounds = arb.rounds;
-  result.rounds = arb.rounds;
   const std::size_t n = g.n();
 
   auto key = [&](graph::Vertex v) {
@@ -89,30 +92,46 @@ ClasswiseResult classwise_color(const graph::Graph& g, const ArbdefectiveResult&
 
 ClasswiseResult eps_delta_coloring(const graph::Graph& g, double eps,
                                    std::uint64_t id_space,
-                                   std::shared_ptr<runtime::RoundExecutor> executor) {
+                                   const runtime::RunOptions& opts) {
   const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
   if (id_space == 0) id_space = std::max<std::uint64_t>(g.n(), 2);
 
   const auto p = static_cast<std::size_t>(
       std::max(1.0, std::ceil(std::sqrt(static_cast<double>(delta)))));
-  const auto arb = arbdefective_color(g, p, id_space, std::move(executor));
+  const auto arb = arbdefective_color(g, p, id_space, opts);
 
   const auto palette = std::max<std::uint64_t>(
       static_cast<std::uint64_t>(std::floor((1.0 + eps) * delta)) + 1, delta + 1);
   return classwise_color(g, arb, palette);
 }
 
-ClasswiseResult sublinear_delta_plus_one(
-    const graph::Graph& g, std::uint64_t id_space,
-    std::shared_ptr<runtime::RoundExecutor> executor) {
+ClasswiseResult sublinear_delta_plus_one(const graph::Graph& g,
+                                         std::uint64_t id_space,
+                                         const runtime::RunOptions& opts) {
   const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
   if (id_space == 0) id_space = std::max<std::uint64_t>(g.n(), 2);
 
   const double log_d = std::max(1.0, std::log2(static_cast<double>(delta)));
   const auto beta = static_cast<std::size_t>(
       std::max(1.0, std::ceil(std::sqrt(static_cast<double>(delta) / log_d))));
-  const auto arb = arbdefective_color(g, beta, id_space, std::move(executor));
+  const auto arb = arbdefective_color(g, beta, id_space, opts);
   return classwise_color(g, arb, delta + 1);
+}
+
+ClasswiseResult eps_delta_coloring(const graph::Graph& g, double eps,
+                                   std::uint64_t id_space,
+                                   std::shared_ptr<runtime::RoundExecutor> executor) {
+  runtime::RunOptions opts;
+  opts.executor = std::move(executor);
+  return eps_delta_coloring(g, eps, id_space, opts);
+}
+
+ClasswiseResult sublinear_delta_plus_one(
+    const graph::Graph& g, std::uint64_t id_space,
+    std::shared_ptr<runtime::RoundExecutor> executor) {
+  runtime::RunOptions opts;
+  opts.executor = std::move(executor);
+  return sublinear_delta_plus_one(g, id_space, opts);
 }
 
 }  // namespace agc::arb

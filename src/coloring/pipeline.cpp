@@ -7,29 +7,82 @@
 #include "agc/coloring/kuhn_wattenhofer.hpp"
 #include "agc/coloring/linial.hpp"
 #include "agc/coloring/reduction.hpp"
+#include "agc/obs/event_sink.hpp"
 
 namespace agc::coloring {
 
 namespace {
 
-void fold_metrics(runtime::Metrics& into, const runtime::Metrics& from) {
-  // Stages run fresh engines with independent per-edge ledgers: counters
-  // add, but max_edge_bits is a max over stages (summing double-counts).
-  into.merge(from);
+/// Per-stage options: the pipeline's iterative options with the stage's
+/// static tag attached, so emitted events and traces name the stage.
+runtime::IterativeOptions stage_opts(const PipelineOptions& opts,
+                                     const char* tag) {
+  runtime::IterativeOptions o = opts.iter;
+  o.tag = tag;
+  return o;
+}
+
+void stage_event(const PipelineOptions& opts, obs::EventKind kind,
+                 const char* tag, std::size_t rounds_so_far, std::size_t value,
+                 std::uint64_t ns = 0) {
+  if (opts.iter.sink == nullptr) return;
+  obs::Event ev;
+  ev.kind = kind;
+  ev.round = rounds_so_far;
+  ev.label = tag;
+  ev.value = value;
+  ev.ns = ns;
+  opts.iter.sink->emit(ev);
+}
+
+/// Fold one iterative stage into the report: rounds/metrics/wall add,
+/// convergence ANDs (RunReport::absorb), and the locally-iterative invariant
+/// ANDs.  Stages run fresh engines with independent per-edge ledgers, so
+/// max_edge_bits is a max over stages — Metrics::merge already does that.
+void fold_stage(PipelineReport& rep, const runtime::IterativeResult& r) {
+  rep.absorb(r);
+  rep.proper_each_round = rep.proper_each_round && r.proper_each_round;
+}
+
+/// Run one stage bracketed by StageStart/StageEnd events and fold it.
+/// `runner` is the stage body; it receives the stage-tagged options.
+template <typename Runner>
+runtime::IterativeResult run_stage(PipelineReport& rep,
+                                   const PipelineOptions& opts, const char* tag,
+                                   std::size_t index, Runner&& runner) {
+  stage_event(opts, obs::EventKind::StageStart, tag, rep.rounds, index);
+  runtime::IterativeResult r = runner(stage_opts(opts, tag));
+  stage_event(opts, obs::EventKind::StageEnd, tag, rep.rounds + r.rounds,
+              r.rounds, r.wall_ns);
+  fold_stage(rep, r);
+  return r;
 }
 
 /// Shared preamble: identity coloring -> Linial fixed point.
 runtime::IterativeResult run_linial(const graph::Graph& g,
-                                    const PipelineOptions& opts, std::size_t delta) {
+                                    const PipelineOptions& opts,
+                                    const runtime::IterativeOptions& iter,
+                                    std::size_t delta) {
   const std::uint64_t id_space =
       std::max<std::uint64_t>(g.n(), 1) * std::max<std::uint64_t>(1, opts.id_space_factor);
-  return linial_color(g, identity_coloring(g.n()), id_space, delta, opts.iter);
+  return linial_color(g, identity_coloring(g.n()), id_space, delta, iter);
 }
 
 void finish(PipelineReport& rep, const graph::Graph& g) {
-  rep.total_rounds = rep.rounds_linial + rep.rounds_core + rep.rounds_finish;
   rep.palette = graph::palette_size(rep.colors);
   rep.proper = graph::is_proper_coloring(g, rep.colors);
+// Keep the deprecated alias in sync for pre-RunReport callers.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  rep.total_rounds = rep.rounds;
+#pragma GCC diagnostic pop
+}
+
+PipelineReport fresh_report() {
+  PipelineReport rep;
+  rep.converged = true;         // absorb() ANDs per-stage convergence in
+  rep.proper_each_round = true;  // likewise for the iterative invariant
+  return rep;
 }
 
 }  // namespace
@@ -37,24 +90,23 @@ void finish(PipelineReport& rep, const graph::Graph& g) {
 PipelineReport color_delta_plus_one(const graph::Graph& g,
                                     const PipelineOptions& opts) {
   const std::size_t delta = g.max_degree();
-  PipelineReport rep;
+  PipelineReport rep = fresh_report();
 
-  auto lin = run_linial(g, opts, delta);
+  auto lin = run_stage(rep, opts, "linial", 0, [&](const auto& iter) {
+    return run_linial(g, opts, iter, delta);
+  });
   rep.rounds_linial = lin.rounds;
-  fold_metrics(rep.metrics, lin.metrics);
-  rep.proper_each_round = lin.proper_each_round;
 
-  auto ag = additive_group_color(g, std::move(lin.colors), delta, opts.iter);
+  auto ag = run_stage(rep, opts, "ag", 1, [&](const auto& iter) {
+    return additive_group_color(g, std::move(lin.colors), delta, iter);
+  });
   rep.rounds_core = ag.rounds;
-  fold_metrics(rep.metrics, ag.metrics);
-  rep.proper_each_round = rep.proper_each_round && ag.proper_each_round;
 
-  auto red = reduce_colors(g, std::move(ag.colors), delta + 1, opts.iter);
+  auto red = run_stage(rep, opts, "reduce", 2, [&](const auto& iter) {
+    return reduce_colors(g, std::move(ag.colors), delta + 1, iter);
+  });
   rep.rounds_finish = red.rounds;
-  fold_metrics(rep.metrics, red.metrics);
-  rep.proper_each_round = rep.proper_each_round && red.proper_each_round;
 
-  rep.converged = lin.converged && ag.converged && red.converged;
   rep.colors = std::move(red.colors);
   finish(rep, g);
   return rep;
@@ -63,19 +115,18 @@ PipelineReport color_delta_plus_one(const graph::Graph& g,
 PipelineReport color_delta_plus_one_exact(const graph::Graph& g,
                                           const PipelineOptions& opts) {
   const std::size_t delta = g.max_degree();
-  PipelineReport rep;
+  PipelineReport rep = fresh_report();
 
-  auto lin = run_linial(g, opts, delta);
+  auto lin = run_stage(rep, opts, "linial", 0, [&](const auto& iter) {
+    return run_linial(g, opts, iter, delta);
+  });
   rep.rounds_linial = lin.rounds;
-  fold_metrics(rep.metrics, lin.metrics);
-  rep.proper_each_round = lin.proper_each_round;
 
-  auto mixed = exact_delta_plus_one(g, std::move(lin.colors), delta, opts.iter);
+  auto mixed = run_stage(rep, opts, "mixed", 1, [&](const auto& iter) {
+    return exact_delta_plus_one(g, std::move(lin.colors), delta, iter);
+  });
   rep.rounds_core = mixed.rounds;
-  fold_metrics(rep.metrics, mixed.metrics);
-  rep.proper_each_round = rep.proper_each_round && mixed.proper_each_round;
 
-  rep.converged = lin.converged && mixed.converged;
   rep.colors = std::move(mixed.colors);
   finish(rep, g);
   return rep;
@@ -84,19 +135,18 @@ PipelineReport color_delta_plus_one_exact(const graph::Graph& g,
 PipelineReport color_kuhn_wattenhofer(const graph::Graph& g,
                                       const PipelineOptions& opts) {
   const std::size_t delta = g.max_degree();
-  PipelineReport rep;
+  PipelineReport rep = fresh_report();
 
-  auto lin = run_linial(g, opts, delta);
+  auto lin = run_stage(rep, opts, "linial", 0, [&](const auto& iter) {
+    return run_linial(g, opts, iter, delta);
+  });
   rep.rounds_linial = lin.rounds;
-  fold_metrics(rep.metrics, lin.metrics);
-  rep.proper_each_round = lin.proper_each_round;
 
-  auto kw = kuhn_wattenhofer_reduce(g, std::move(lin.colors), delta, opts.iter);
+  auto kw = run_stage(rep, opts, "kw", 1, [&](const auto& iter) {
+    return kuhn_wattenhofer_reduce(g, std::move(lin.colors), delta, iter);
+  });
   rep.rounds_core = kw.rounds;
-  fold_metrics(rep.metrics, kw.metrics);
-  rep.proper_each_round = rep.proper_each_round && kw.proper_each_round;
 
-  rep.converged = lin.converged && kw.converged;
   rep.colors = std::move(kw.colors);
   finish(rep, g);
   return rep;
@@ -105,19 +155,18 @@ PipelineReport color_kuhn_wattenhofer(const graph::Graph& g,
 PipelineReport color_linial_greedy(const graph::Graph& g,
                                    const PipelineOptions& opts) {
   const std::size_t delta = g.max_degree();
-  PipelineReport rep;
+  PipelineReport rep = fresh_report();
 
-  auto lin = run_linial(g, opts, delta);
+  auto lin = run_stage(rep, opts, "linial", 0, [&](const auto& iter) {
+    return run_linial(g, opts, iter, delta);
+  });
   rep.rounds_linial = lin.rounds;
-  fold_metrics(rep.metrics, lin.metrics);
-  rep.proper_each_round = lin.proper_each_round;
 
-  auto red = reduce_colors(g, std::move(lin.colors), delta + 1, opts.iter);
+  auto red = run_stage(rep, opts, "reduce", 1, [&](const auto& iter) {
+    return reduce_colors(g, std::move(lin.colors), delta + 1, iter);
+  });
   rep.rounds_core = red.rounds;
-  fold_metrics(rep.metrics, red.metrics);
-  rep.proper_each_round = rep.proper_each_round && red.proper_each_round;
 
-  rep.converged = lin.converged && red.converged;
   rep.colors = std::move(red.colors);
   finish(rep, g);
   return rep;
@@ -125,19 +174,18 @@ PipelineReport color_linial_greedy(const graph::Graph& g,
 
 PipelineReport color_o_delta(const graph::Graph& g, const PipelineOptions& opts) {
   const std::size_t delta = g.max_degree();
-  PipelineReport rep;
+  PipelineReport rep = fresh_report();
 
-  auto lin = run_linial(g, opts, delta);
+  auto lin = run_stage(rep, opts, "linial", 0, [&](const auto& iter) {
+    return run_linial(g, opts, iter, delta);
+  });
   rep.rounds_linial = lin.rounds;
-  fold_metrics(rep.metrics, lin.metrics);
-  rep.proper_each_round = lin.proper_each_round;
 
-  auto ag = additive_group_color(g, std::move(lin.colors), delta, opts.iter);
+  auto ag = run_stage(rep, opts, "ag", 1, [&](const auto& iter) {
+    return additive_group_color(g, std::move(lin.colors), delta, iter);
+  });
   rep.rounds_core = ag.rounds;
-  fold_metrics(rep.metrics, ag.metrics);
-  rep.proper_each_round = rep.proper_each_round && ag.proper_each_round;
 
-  rep.converged = lin.converged && ag.converged;
   rep.colors = std::move(ag.colors);
   finish(rep, g);
   return rep;

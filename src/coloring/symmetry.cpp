@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "agc/graph/checks.hpp"
+#include "agc/obs/event_sink.hpp"
+#include "agc/obs/phase_timer.hpp"
 #include "agc/runtime/engine.hpp"
 
 namespace agc::coloring {
@@ -55,6 +57,7 @@ class MisWaveProgram final : public runtime::VertexProgram {
 
 MisReport mis_from_coloring(const graph::Graph& g, const std::vector<Color>& colors,
                             const runtime::IterativeOptions& opts) {
+  const std::uint64_t t0 = obs::monotonic_ns();
   MisReport rep;
   const Color palette = graph::max_color(colors) + 1;
   const std::uint32_t bits = runtime::width_of(palette - 1);
@@ -62,9 +65,22 @@ MisReport mis_from_coloring(const graph::Graph& g, const std::vector<Color>& col
   // The MIS wave sends directed status words, which SET-LOCAL cannot; the
   // broadcast here is sender-anonymous, so SET_LOCAL remains allowed.
   runtime::Engine engine(g, runtime::Transport(opts.model, opts.congest_bits));
+  if (opts.executor) engine.set_executor(opts.executor);
+  obs::PhaseProfile profile;
+  if (opts.collect_phase_times) engine.set_profile(&profile);
+  if (opts.sink != nullptr) engine.set_sink(opts.sink);
   engine.install([&](const runtime::VertexEnv& env) {
     return std::make_unique<MisWaveProgram>(colors[env.id], bits);
   });
+
+  if (opts.sink != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::StageStart;
+    ev.label = opts.tag != nullptr ? opts.tag : "mis-wave";
+    ev.value = g.n();
+    opts.sink->emit(ev);
+  }
+
   rep.rounds_mis = engine.run(static_cast<std::size_t>(palette) + 2);
 
   rep.in_mis.resize(g.n());
@@ -72,6 +88,22 @@ MisReport mis_from_coloring(const graph::Graph& g, const std::vector<Color>& col
     rep.in_mis[v] = dynamic_cast<const MisWaveProgram&>(engine.program(v)).in_mis();
   }
   rep.valid = engine.all_halted() && graph::is_mis(g, rep.in_mis);
+
+  rep.rounds = rep.rounds_mis;
+  rep.converged = rep.valid;
+  rep.metrics = engine.metrics();
+  rep.phases = profile.folded();
+  rep.wall_ns = obs::monotonic_ns() - t0;
+
+  if (opts.sink != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::StageEnd;
+    ev.label = opts.tag != nullptr ? opts.tag : "mis-wave";
+    ev.round = rep.rounds_mis;
+    ev.value = rep.valid ? 1 : 0;
+    ev.ns = rep.wall_ns;
+    opts.sink->emit(ev);
+  }
   return rep;
 }
 
@@ -79,8 +111,11 @@ MisReport maximal_independent_set(const graph::Graph& g,
                                   const PipelineOptions& opts) {
   const auto colored = color_delta_plus_one(g, opts);
   auto rep = mis_from_coloring(g, colored.colors, opts.iter);
-  rep.rounds_coloring = colored.total_rounds;
+  rep.rounds_coloring = colored.rounds;
   rep.valid = rep.valid && colored.converged && colored.proper;
+  // Fold the coloring stage's report core into the reduction's.
+  rep.absorb(colored);
+  rep.converged = rep.valid;
   return rep;
 }
 
@@ -88,11 +123,12 @@ MatchingReport maximal_matching(const graph::Graph& g, const PipelineOptions& op
   MatchingReport rep;
   const auto lg = graph::line_graph(g);
   const auto mis = maximal_independent_set(lg.graph, opts);
-  rep.rounds = mis.rounds_coloring + mis.rounds_mis;
+  static_cast<runtime::RunReport&>(rep) = mis;
   for (graph::Vertex i = 0; i < lg.graph.n(); ++i) {
     if (mis.in_mis[i]) rep.matching.push_back(lg.edge_of[i]);
   }
   rep.valid = mis.valid && graph::is_maximal_matching(g, rep.matching);
+  rep.converged = rep.valid;
   return rep;
 }
 
@@ -101,10 +137,11 @@ LineEdgeColoringReport edge_coloring_via_line_graph(const graph::Graph& g,
   LineEdgeColoringReport rep;
   const auto lg = graph::line_graph(g);
   const auto colored = color_delta_plus_one(lg.graph, opts);
-  rep.rounds = colored.total_rounds;
+  static_cast<runtime::RunReport&>(rep) = colored;
   rep.colors = colored.colors;
   rep.palette = colored.palette;
   rep.proper = colored.converged && graph::is_proper_edge_coloring(g, rep.colors);
+  rep.converged = rep.proper;
   return rep;
 }
 

@@ -7,6 +7,8 @@
 
 #include "agc/coloring/cole_vishkin.hpp"
 #include "agc/math/primes.hpp"
+#include "agc/obs/event_sink.hpp"
+#include "agc/runtime/faults.hpp"
 
 namespace agc::edge {
 
@@ -332,6 +334,7 @@ std::optional<Color> EdgeColoringProgram::edge_color(graph::Vertex w) const {
 
 EdgeColoringResult color_edges_distributed(const graph::Graph& g,
                                            const EdgeColoringOptions& opts) {
+  const std::uint64_t t0 = obs::monotonic_ns();
   EdgeColoringResult result;
   const std::size_t delta = g.max_degree();
   EdgeSchedule sched(g.n(), delta, opts.exact);
@@ -341,6 +344,18 @@ EdgeColoringResult color_edges_distributed(const graph::Graph& g,
                      : runtime::Transport(runtime::Model::CONGEST, opts.congest_bits);
   runtime::Engine engine(g, transport);
   engine.set_executor(opts.executor);
+
+  obs::PhaseProfile profile;
+  if (opts.collect_phase_times) engine.set_profile(&profile);
+  if (opts.sink != nullptr) {
+    engine.set_sink(opts.sink);
+    obs::Event ev;
+    ev.kind = obs::EventKind::RunStart;
+    ev.label = opts.tag != nullptr ? opts.tag : "edge";
+    ev.value = g.n();
+    opts.sink->emit(ev);
+  }
+
   engine.install([&](const runtime::VertexEnv&) {
     return std::make_unique<EdgeColoringProgram>(sched, opts.bit_round);
   });
@@ -373,7 +388,30 @@ EdgeColoringResult color_edges_distributed(const graph::Graph& g,
   while (result.rounds < cap && !engine.all_halted()) {
     engine.step();
     ++result.rounds;
+    if (opts.adversary != nullptr) {
+      // The edge program keeps no adversary-visible RAM (a static protocol),
+      // so injections here exercise churn/accounting paths; the proper /
+      // converged flags report whatever damage was done.
+      obs::ScopedPhaseTimer timer(
+          opts.collect_phase_times ? profile.extra() : nullptr,
+          obs::Phase::Fault);
+      const std::size_t injected = opts.adversary->inject(engine, result.rounds);
+      if (injected > 0) {
+        result.fault_events += injected;
+        if (opts.sink != nullptr) {
+          obs::Event ev;
+          ev.kind = obs::EventKind::Fault;
+          ev.round = result.rounds;
+          ev.label = opts.adversary->name();
+          ev.value = injected;
+          opts.sink->emit(ev);
+        }
+      }
+    }
     if (result.rounds >= min_rounds && result.rounds % 8 == 0) {
+      obs::ScopedPhaseTimer timer(
+          opts.collect_phase_times ? profile.extra() : nullptr,
+          obs::Phase::Check);
       result.colors = extract();
       if (settled(result.colors)) break;
     }
@@ -387,6 +425,20 @@ EdgeColoringResult color_edges_distributed(const graph::Graph& g,
     result.avg_bits_per_edge =
         static_cast<double>(result.metrics.total_bits) / (2.0 * g.m());
     result.max_bits_per_edge = result.metrics.max_edge_bits;
+  }
+  if (opts.collect_phase_times) {
+    engine.set_profile(nullptr);
+    result.phases = profile.folded();
+  }
+  result.wall_ns = obs::monotonic_ns() - t0;
+  if (opts.sink != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::RunEnd;
+    ev.round = result.rounds;
+    ev.label = opts.tag != nullptr ? opts.tag : "edge";
+    ev.value = result.rounds;
+    ev.ns = result.wall_ns;
+    opts.sink->emit(ev);
   }
   return result;
 }

@@ -16,7 +16,7 @@ ParallelExecutor::ParallelExecutor(std::size_t threads) : pool_(threads) {
   };
   deliver_task_ = [this](std::size_t s) {
     const auto [b, e] = shard_range(ctx_->n(), pool_.size(), s);
-    ctx_->deliver(b, e, per_shard_[s]);
+    ctx_->deliver(b, e, per_shard_[s], s);
   };
   receive_task_ = [this](std::size_t s) {
     const auto [b, e] = shard_range(ctx_->n(), pool_.size(), s);
@@ -31,10 +31,38 @@ void ParallelExecutor::round(runtime::RoundContext& ctx,
   ctx_ = &ctx;
   per_shard_.assign(shards, runtime::Metrics{});  // capacity reused
 
-  pool_.run(shards, send_task_);
-  pool_.run(shards, deliver_task_);
+  obs::PhaseProfile* profile = ctx.profile();
+  if (profile == nullptr) {
+    pool_.run(shards, send_task_);
+    pool_.run(shards, deliver_task_);
+    runtime::RoundContext::reduce(per_shard_, total);
+    pool_.run(shards, receive_task_);
+    ctx_ = nullptr;
+    return;
+  }
+
+  // Profiled path: barrier idle = the fork/join wall clock times the shard
+  // count, minus the time shards spent inside the phase bodies.  The slowest
+  // shard dominates the wall, so this is exactly the sum of everyone else's
+  // wait (plus fork/join overhead), attributed to the driving thread's extra
+  // accumulator — shard accumulators stay owned by their shards.
+  std::uint64_t busy_before = 0;
+  std::uint64_t idle_ns = 0;
+  const auto fork_join = [&](const std::function<void(std::size_t)>& task,
+                             obs::Phase phase) {
+    busy_before = profile->busy_ns(phase);
+    const std::uint64_t t0 = obs::monotonic_ns();
+    pool_.run(shards, task);
+    const std::uint64_t wall = obs::monotonic_ns() - t0;
+    const std::uint64_t busy = profile->busy_ns(phase) - busy_before;
+    const std::uint64_t occupied = wall * shards;
+    idle_ns += occupied > busy ? occupied - busy : 0;
+  };
+  fork_join(send_task_, obs::Phase::Send);
+  fork_join(deliver_task_, obs::Phase::Deliver);
   runtime::RoundContext::reduce(per_shard_, total);
-  pool_.run(shards, receive_task_);
+  fork_join(receive_task_, obs::Phase::Receive);
+  profile->extra()->add(obs::Phase::Barrier, idle_ns);
   ctx_ = nullptr;
 }
 

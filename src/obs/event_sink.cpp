@@ -1,0 +1,107 @@
+#include "agc/obs/event_sink.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace agc::obs {
+
+std::string_view event_kind_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::RunStart:
+      return "run_start";
+    case EventKind::RoundEnd:
+      return "round_end";
+    case EventKind::StageStart:
+      return "stage_start";
+    case EventKind::StageEnd:
+      return "stage_end";
+    case EventKind::Fault:
+      return "fault";
+    case EventKind::Check:
+      return "check";
+    case EventKind::RunEnd:
+      return "run_end";
+    case EventKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+RingSink::RingSink(std::size_t capacity) { buf_.resize(capacity ? capacity : 1); }
+
+void RingSink::emit(const Event& event) {
+  buf_[next_] = event;
+  next_ = (next_ + 1) % buf_.size();
+  ++seen_;
+}
+
+std::vector<Event> RingSink::snapshot() const {
+  std::vector<Event> out;
+  const std::size_t stored = seen_ < buf_.size() ? seen_ : buf_.size();
+  out.reserve(stored);
+  // Oldest retained event sits at next_ once the ring has wrapped.
+  const std::size_t start = seen_ < buf_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < stored; ++i) {
+    out.push_back(buf_[(start + i) % buf_.size()]);
+  }
+  return out;
+}
+
+void json_escape(std::string_view in, std::string& out) {
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // multi-byte UTF-8 sequences pass through unescaped
+        }
+    }
+  }
+}
+
+void JsonlSink::emit(const Event& event) {
+  line_.clear();
+  line_ += "{\"kind\":\"";
+  line_ += event_kind_name(event.kind);
+  line_ += "\",\"round\":";
+  line_ += std::to_string(event.round);
+  if (event.label != nullptr) {
+    line_ += ",\"label\":\"";
+    json_escape(event.label, line_);
+    line_ += '"';
+  }
+  line_ += ",\"value\":";
+  line_ += std::to_string(event.value);
+  line_ += ",\"ns\":";
+  line_ += std::to_string(event.ns);
+  line_ += "}\n";
+  *out_ << line_;
+  ++lines_;
+}
+
+}  // namespace agc::obs

@@ -1,0 +1,27 @@
+#include "agc/obs/phase_timer.hpp"
+
+namespace agc::obs {
+
+std::string_view phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::Send:
+      return "send";
+    case Phase::Deliver:
+      return "deliver";
+    case Phase::Receive:
+      return "receive";
+    case Phase::Barrier:
+      return "barrier";
+    case Phase::Check:
+      return "check";
+    case Phase::Observer:
+      return "observer";
+    case Phase::Fault:
+      return "fault";
+    case Phase::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace agc::obs

@@ -1,0 +1,109 @@
+#include "agc/obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "agc/obs/event_sink.hpp"
+
+namespace agc::obs {
+
+void Telemetry::set(std::string_view name, std::uint64_t value) {
+  for (auto& c : counters_) {
+    if (c.name == name) {
+      c.value = value;
+      return;
+    }
+  }
+  counters_.push_back({std::string(name), value});
+}
+
+std::uint64_t Telemetry::get(std::string_view name,
+                             std::uint64_t dflt) const noexcept {
+  for (const auto& c : counters_) {
+    if (c.name == name) return c.value;
+  }
+  return dflt;
+}
+
+double Telemetry::rounds_per_sec() const noexcept {
+  const std::uint64_t rounds = get("rounds");
+  if (rounds == 0 || wall_ns == 0) return 0.0;
+  return static_cast<double>(rounds) * 1e9 / static_cast<double>(wall_ns);
+}
+
+std::string Telemetry::to_json() const {
+  std::string out = "{";
+  for (const auto& c : counters_) {
+    out += '"';
+    json_escape(c.name, out);
+    out += "\":";
+    out += std::to_string(c.value);
+    out += ',';
+  }
+  out += "\"wall_ns\":";
+  out += std::to_string(wall_ns);
+  out += ",\"phases\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto p = static_cast<Phase>(i);
+    if (phases.phase_calls(p) == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += phase_name(p);
+    out += "\":{\"ns\":";
+    out += std::to_string(phases.phase_ns(p));
+    out += ",\"calls\":";
+    out += std::to_string(phases.phase_calls(p));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void Telemetry::write_summary(std::ostream& out, std::size_t width) const {
+  struct Row {
+    Phase phase;
+    std::uint64_t ns;
+    std::uint64_t calls;
+  };
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto p = static_cast<Phase>(i);
+    if (phases.phase_calls(p) != 0) {
+      rows.push_back({p, phases.phase_ns(p), phases.phase_calls(p)});
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.ns > b.ns; });
+
+  const std::uint64_t total = phases.total_ns();
+  char buf[160];
+  if (rows.empty()) {
+    out << "(no phase timings collected — set RunOptions::collect_phase_times)\n";
+  }
+  for (const Row& r : rows) {
+    const double frac =
+        total == 0 ? 0.0 : static_cast<double>(r.ns) / static_cast<double>(total);
+    const auto bar = static_cast<std::size_t>(frac * static_cast<double>(width));
+    std::snprintf(buf, sizeof buf, "%-9s %8.3f ms %6.1f%%  %10llu calls  ",
+                  std::string(phase_name(r.phase)).c_str(),
+                  static_cast<double>(r.ns) / 1e6, 100.0 * frac,
+                  static_cast<unsigned long long>(r.calls));
+    out << buf;
+    for (std::size_t i = 0; i < bar; ++i) out << '#';
+    out << '\n';
+  }
+  if (wall_ns != 0) {
+    const double attributed =
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(total) / static_cast<double>(wall_ns);
+    std::snprintf(buf, sizeof buf,
+                  "wall %.3f ms, %.1f%% attributed to phases, %.1f rounds/s\n",
+                  static_cast<double>(wall_ns) / 1e6, attributed, rounds_per_sec());
+    out << buf;
+  }
+}
+
+}  // namespace agc::obs

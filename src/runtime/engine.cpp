@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "agc/obs/event_sink.hpp"
+#include "agc/obs/phase_timer.hpp"
 #include "agc/runtime/round.hpp"
 
 namespace agc::runtime {
@@ -33,15 +35,30 @@ void Engine::step() {
   }
   edge_bits_.ensure(graph_.n());
   arena_.ensure(graph_);  // O(1) unless the adversary churned topology
+  const std::uint64_t t0 = sink_ != nullptr ? obs::monotonic_ns() : 0;
+  const std::uint64_t messages_before = metrics_.messages;
   RoundContext ctx(graph_, transport_, opts_, programs_, envs_, edge_bits_,
-                   arena_, metrics_.rounds);
+                   arena_, metrics_.rounds, profile_);
   if (executor_) {
     executor_->round(ctx, metrics_);
   } else {
     SequentialExecutor{}.round(ctx, metrics_);
   }
   ++metrics_.rounds;
-  if (observer_) observer_(*this, metrics_.rounds);
+  if (sink_ != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::RoundEnd;
+    ev.round = metrics_.rounds;
+    ev.value = metrics_.messages - messages_before;
+    ev.ns = obs::monotonic_ns() - t0;
+    sink_->emit(ev);
+  }
+  if (observer_) {
+    obs::ScopedPhaseTimer timer(
+        profile_ != nullptr ? profile_->extra() : nullptr,
+        obs::Phase::Observer);
+    observer_(*this, metrics_.rounds);
+  }
 }
 
 std::size_t Engine::run(std::size_t max_rounds) {

@@ -83,4 +83,24 @@ void Adversary::churn_vertices(Engine& engine, std::size_t count, std::size_t re
   }
 }
 
+std::size_t PeriodicAdversary::inject(Engine& engine, std::size_t round) {
+  if (schedule_.period == 0 || round > schedule_.last_round) return 0;
+  if (round % schedule_.period != 0) return 0;
+  const std::size_t before = adversary_.events();
+  if (schedule_.corrupt > 0) {
+    const std::uint64_t range = schedule_.value_range == 0
+                                    ? std::numeric_limits<std::uint64_t>::max()
+                                    : schedule_.value_range;
+    adversary_.corrupt_random(engine, schedule_.corrupt, range);
+  }
+  if (schedule_.clones > 0) {
+    adversary_.clone_neighbor(engine, schedule_.clones);
+  }
+  if (schedule_.edge_adds > 0 || schedule_.edge_removes > 0) {
+    adversary_.churn_edges(engine, schedule_.edge_adds, schedule_.edge_removes,
+                           schedule_.dmax);
+  }
+  return adversary_.events() - before;
+}
+
 }  // namespace agc::runtime

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
+
+#include "agc/obs/event_sink.hpp"
+#include "agc/runtime/faults.hpp"
 
 namespace agc::runtime {
 
@@ -27,11 +31,25 @@ class RuleProgram final : public VertexProgram {
     *mirror_ = color_;
   }
 
+  /// The color is the whole volatile state: exposing it lets the unified
+  /// RunOptions adversary corrupt iterative runs the same way it corrupts
+  /// selfstab ones.  The runner resynchronizes the mirror after injection.
+  std::span<std::uint64_t> ram() override { return {&color_, 1}; }
+
  private:
   const IterativeRule& rule_;
   Color color_;
   Color* mirror_;
 };
+
+/// Pull every program's color back into the mirror after the adversary may
+/// have rewritten RAM behind the runner's back.
+void resync_mirror(Engine& engine, std::vector<Color>& mirror) {
+  for (graph::Vertex v = 0; v < engine.graph().n(); ++v) {
+    const auto ram = engine.ram(v);
+    if (!ram.empty()) mirror[v] = ram[0];
+  }
+}
 
 }  // namespace
 
@@ -39,20 +57,48 @@ IterativeResult run_locally_iterative(const graph::Graph& g,
                                       std::vector<Color> initial,
                                       const IterativeRule& rule,
                                       const IterativeOptions& opts) {
+  const std::uint64_t t0 = obs::monotonic_ns();
   IterativeResult result;
   result.colors = std::move(initial);
 
   Engine engine(g, Transport(opts.model, opts.congest_bits));
   if (opts.executor) engine.set_executor(opts.executor);
+
+  obs::PhaseProfile profile;
+  obs::PhaseStats* extra = nullptr;
+  if (opts.collect_phase_times) {
+    engine.set_profile(&profile);
+    extra = profile.extra();
+  }
+  if (opts.sink != nullptr) engine.set_sink(opts.sink);
+
   std::vector<Color>& mirror = result.colors;
   engine.install([&](const VertexEnv& env) {
+    if (env.id >= mirror.size()) {
+      // The mirror (and the adversary resync) index by vertex id; growing the
+      // vertex set mid-run is a selfstab-runner capability only.
+      throw std::logic_error(
+          "run_locally_iterative: adding vertices mid-run is unsupported");
+    }
     return std::make_unique<RuleProgram>(rule, mirror[env.id], &mirror[env.id]);
   });
 
-  if (opts.check_proper_each_round) {
-    result.proper_each_round = graph::is_proper_coloring(g, mirror);
+  if (opts.sink != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::RunStart;
+    ev.label = opts.tag;
+    ev.value = g.n();
+    opts.sink->emit(ev);
   }
-  if (opts.on_round) opts.on_round(0, mirror);
+
+  if (opts.check_proper_each_round) {
+    obs::ScopedPhaseTimer timer(extra, obs::Phase::Check);
+    result.proper_each_round = graph::is_proper_coloring(engine.graph(), mirror);
+  }
+  if (opts.on_round) {
+    obs::ScopedPhaseTimer timer(extra, obs::Phase::Observer);
+    opts.on_round(0, mirror);
+  }
 
   auto all_final = [&] {
     return std::all_of(mirror.begin(), mirror.end(),
@@ -62,13 +108,52 @@ IterativeResult run_locally_iterative(const graph::Graph& g,
   while (!all_final() && result.rounds < opts.max_rounds) {
     engine.step();
     ++result.rounds;
-    if (opts.check_proper_each_round && result.proper_each_round) {
-      result.proper_each_round = graph::is_proper_coloring(g, mirror);
+    if (opts.adversary != nullptr) {
+      std::size_t injected = 0;
+      {
+        obs::ScopedPhaseTimer timer(extra, obs::Phase::Fault);
+        injected = opts.adversary->inject(engine, result.rounds);
+      }
+      if (injected > 0) {
+        result.fault_events += injected;
+        resync_mirror(engine, mirror);
+        if (opts.sink != nullptr) {
+          obs::Event ev;
+          ev.kind = obs::EventKind::Fault;
+          ev.round = result.rounds;
+          ev.label = opts.adversary->name();
+          ev.value = injected;
+          opts.sink->emit(ev);
+        }
+      }
     }
-    if (opts.on_round) opts.on_round(result.rounds, mirror);
+    if (opts.check_proper_each_round && result.proper_each_round) {
+      obs::ScopedPhaseTimer timer(extra, obs::Phase::Check);
+      // The adversary may have churned edges: judge against the live graph.
+      result.proper_each_round =
+          graph::is_proper_coloring(engine.graph(), mirror);
+    }
+    if (opts.on_round) {
+      obs::ScopedPhaseTimer timer(extra, obs::Phase::Observer);
+      opts.on_round(result.rounds, mirror);
+    }
   }
   result.converged = all_final();
   result.metrics = engine.metrics();
+  if (opts.collect_phase_times) {
+    engine.set_profile(nullptr);
+    result.phases = profile.folded();
+  }
+  result.wall_ns = obs::monotonic_ns() - t0;
+  if (opts.sink != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::RunEnd;
+    ev.round = result.rounds;
+    ev.label = opts.tag;
+    ev.value = result.rounds;
+    ev.ns = result.wall_ns;
+    opts.sink->emit(ev);
+  }
   return result;
 }
 
@@ -78,15 +163,32 @@ IterativeResult run_stages(const graph::Graph& g, std::vector<Color> initial,
   IterativeResult total;
   total.colors = std::move(initial);
   total.converged = true;
+  std::size_t index = 0;
   for (const IterativeRule* stage : stages) {
+    if (opts.sink != nullptr) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::StageStart;
+      ev.round = total.rounds;
+      ev.label = opts.tag;
+      ev.value = index;
+      opts.sink->emit(ev);
+    }
     IterativeResult r = run_locally_iterative(g, std::move(total.colors), *stage, opts);
     total.colors = std::move(r.colors);
-    total.rounds += r.rounds;
-    total.converged = total.converged && r.converged;
     total.proper_each_round = total.proper_each_round && r.proper_each_round;
     // Each stage runs a fresh engine with its own per-edge ledger, so the
-    // cross-stage max_edge_bits is the max over stages, not their sum.
-    total.metrics.merge(r.metrics);
+    // cross-stage max_edge_bits is the max over stages, not their sum
+    // (RunReport::absorb delegates to Metrics::merge, which does exactly that).
+    total.absorb(r);
+    if (opts.sink != nullptr) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::StageEnd;
+      ev.round = total.rounds;
+      ev.label = opts.tag;
+      ev.value = r.rounds;
+      opts.sink->emit(ev);
+    }
+    ++index;
     if (!total.converged) break;
   }
   return total;

@@ -20,7 +20,8 @@ RoundContext::RoundContext(const graph::Graph& graph, const Transport& transport
                            const EngineOptions& opts,
                            std::vector<std::unique_ptr<VertexProgram>>& programs,
                            std::vector<VertexEnv>& envs, EdgeBitLedger& ledger,
-                           MailboxArena& arena, std::uint64_t round)
+                           MailboxArena& arena, std::uint64_t round,
+                           obs::PhaseProfile* profile)
     : graph_(graph),
       transport_(transport),
       opts_(opts),
@@ -28,10 +29,13 @@ RoundContext::RoundContext(const graph::Graph& graph, const Transport& transport
       envs_(envs),
       ledger_(ledger),
       arena_(arena),
-      round_(round) {}
+      round_(round),
+      profile_(profile) {}
 
 void RoundContext::send(graph::Vertex begin, graph::Vertex end,
                         std::size_t shard) {
+  obs::ScopedPhaseTimer timer(
+      profile_ != nullptr ? profile_->shard(shard) : nullptr, obs::Phase::Send);
   arena_.begin_shard(shard);
   for (graph::Vertex v = begin; v < end; ++v) {
     arena_.reset_ports(v);
@@ -43,7 +47,10 @@ void RoundContext::send(graph::Vertex begin, graph::Vertex end,
 }
 
 void RoundContext::deliver(graph::Vertex begin, graph::Vertex end,
-                           Metrics& shard) {
+                           Metrics& metrics, std::size_t shard) {
+  obs::ScopedPhaseTimer timer(
+      profile_ != nullptr ? profile_->shard(shard) : nullptr,
+      obs::Phase::Deliver);
   for (graph::Vertex v = begin; v < end; ++v) {
     const auto nbrs = graph_.neighbors(v);
     const std::uint32_t* peers = arena_.peer_ports(v);
@@ -54,10 +61,10 @@ void RoundContext::deliver(graph::Vertex begin, graph::Vertex end,
       if (words.empty()) continue;
       std::uint64_t msg_bits = 0;
       for (const Word& w : words) msg_bits += w.bits;
-      ++shard.messages;
-      shard.total_bits += msg_bits;
+      ++metrics.messages;
+      metrics.total_bits += msg_bits;
       const std::uint64_t acc = ledger_.add(nbrs[port], v, msg_bits);
-      shard.max_edge_bits = std::max(shard.max_edge_bits, acc);
+      metrics.max_edge_bits = std::max(metrics.max_edge_bits, acc);
     }
   }
 }
@@ -68,6 +75,9 @@ void RoundContext::reduce(std::span<const Metrics> shards, Metrics& total) {
 
 void RoundContext::receive(graph::Vertex begin, graph::Vertex end,
                            std::size_t shard) {
+  obs::ScopedPhaseTimer timer(
+      profile_ != nullptr ? profile_->shard(shard) : nullptr,
+      obs::Phase::Receive);
   for (graph::Vertex v = begin; v < end; ++v) {
     const InboxRef in = arena_.inbox(v, shard);
     programs_[v]->on_receive(envs_[v], in);
@@ -79,7 +89,7 @@ void SequentialExecutor::round(RoundContext& ctx, Metrics& total) {
   ctx.prepare(1);
   ctx.send(0, n, 0);
   Metrics shard;
-  ctx.deliver(0, n, shard);
+  ctx.deliver(0, n, shard, 0);
   RoundContext::reduce({&shard, 1}, total);
   ctx.receive(0, n, 0);
 }

@@ -5,6 +5,7 @@
 
 #include "agc/graph/checks.hpp"
 #include "agc/math/primes.hpp"
+#include "agc/selfstab/detail/run_loop.hpp"
 
 namespace agc::selfstab {
 
@@ -136,32 +137,27 @@ std::vector<Color> current_colors(runtime::Engine& engine) {
 }
 
 StabilizationReport run_until_stable(runtime::Engine& engine, const SsConfig& cfg,
-                                     std::size_t max_rounds,
+                                     const runtime::RunOptions& opts,
                                      std::size_t confirm_rounds) {
   StabilizationReport rep;
-  auto stable = [&](const std::vector<Color>& colors) {
+  auto stable = [&] {
+    const auto colors = current_colors(engine);
     return std::all_of(colors.begin(), colors.end(),
                        [&](Color c) { return cfg.is_final(c); }) &&
            graph::is_proper_coloring(engine.graph(), colors);
   };
-
-  std::vector<Color> colors = current_colors(engine);
-  while (rep.rounds_to_stable < max_rounds && !stable(colors)) {
-    engine.step();
-    ++rep.rounds_to_stable;
-    colors = current_colors(engine);
-  }
-  if (!stable(colors)) return rep;
-
-  // Confirm quiescence: the configuration must be a fixed point.
-  for (std::size_t i = 0; i < confirm_rounds; ++i) {
-    engine.step();
-    auto after = current_colors(engine);
-    if (after != colors) return rep;  // not actually stable
-  }
-  rep.stabilized = true;
-  rep.colors = std::move(colors);
+  detail::run_until(engine, opts, confirm_rounds, stable,
+                    [&] { return current_colors(engine); }, rep);
+  if (rep.stabilized) rep.colors = current_colors(engine);
   return rep;
+}
+
+StabilizationReport run_until_stable(runtime::Engine& engine, const SsConfig& cfg,
+                                     std::size_t max_rounds,
+                                     std::size_t confirm_rounds) {
+  runtime::RunOptions opts;
+  opts.max_rounds = max_rounds;
+  return run_until_stable(engine, cfg, opts, confirm_rounds);
 }
 
 }  // namespace agc::selfstab

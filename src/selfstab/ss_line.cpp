@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "agc/graph/checks.hpp"
+#include "agc/selfstab/detail/run_loop.hpp"
 
 namespace agc::selfstab {
 
@@ -151,7 +152,7 @@ std::vector<graph::Edge> current_matching(runtime::Engine& engine) {
 
 LineStabilizationReport run_until_line_stable(runtime::Engine& engine,
                                               const SsLineConfig& cfg,
-                                              std::size_t max_rounds,
+                                              const runtime::RunOptions& opts,
                                               std::size_t confirm_rounds) {
   LineStabilizationReport rep;
 
@@ -182,19 +183,17 @@ LineStabilizationReport run_until_line_stable(runtime::Engine& engine,
     return true;
   };
 
-  while (rep.rounds_to_stable < max_rounds && !stable()) {
-    engine.step();
-    ++rep.rounds_to_stable;
-  }
-  if (!stable()) return rep;
-
-  const auto snap = snapshot();
-  for (std::size_t i = 0; i < confirm_rounds; ++i) {
-    engine.step();
-    if (snapshot() != snap) return rep;
-  }
-  rep.stabilized = true;
+  detail::run_until(engine, opts, confirm_rounds, stable, snapshot, rep);
   return rep;
+}
+
+LineStabilizationReport run_until_line_stable(runtime::Engine& engine,
+                                              const SsLineConfig& cfg,
+                                              std::size_t max_rounds,
+                                              std::size_t confirm_rounds) {
+  runtime::RunOptions opts;
+  opts.max_rounds = max_rounds;
+  return run_until_line_stable(engine, cfg, opts, confirm_rounds);
 }
 
 }  // namespace agc::selfstab

@@ -1,8 +1,10 @@
 #include "agc/selfstab/ss_mis.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "agc/graph/checks.hpp"
+#include "agc/selfstab/detail/run_loop.hpp"
 
 namespace agc::selfstab {
 
@@ -65,7 +67,7 @@ std::vector<bool> current_mis(runtime::Engine& engine) {
 
 MisStabilizationReport run_until_mis_stable(runtime::Engine& engine,
                                             const SsConfig& cfg,
-                                            std::size_t max_rounds,
+                                            const runtime::RunOptions& opts,
                                             std::size_t confirm_rounds) {
   MisStabilizationReport rep;
   auto stable = [&] {
@@ -77,22 +79,21 @@ MisStabilizationReport run_until_mis_stable(runtime::Engine& engine,
     if (!graph::is_proper_coloring(engine.graph(), colors)) return false;
     return graph::is_mis(engine.graph(), current_mis(engine));
   };
-
-  while (rep.rounds_to_stable < max_rounds && !stable()) {
-    engine.step();
-    ++rep.rounds_to_stable;
-  }
-  if (!stable()) return rep;
-
-  const auto colors = current_colors(engine);
-  const auto flags = current_mis(engine);
-  for (std::size_t i = 0; i < confirm_rounds; ++i) {
-    engine.step();
-    if (current_colors(engine) != colors || current_mis(engine) != flags) return rep;
-  }
-  rep.stabilized = true;
-  rep.in_mis = flags;
+  auto snapshot = [&] {
+    return std::pair{current_colors(engine), current_mis(engine)};
+  };
+  detail::run_until(engine, opts, confirm_rounds, stable, snapshot, rep);
+  if (rep.stabilized) rep.in_mis = current_mis(engine);
   return rep;
+}
+
+MisStabilizationReport run_until_mis_stable(runtime::Engine& engine,
+                                            const SsConfig& cfg,
+                                            std::size_t max_rounds,
+                                            std::size_t confirm_rounds) {
+  runtime::RunOptions opts;
+  opts.max_rounds = max_rounds;
+  return run_until_mis_stable(engine, cfg, opts, confirm_rounds);
 }
 
 }  // namespace agc::selfstab

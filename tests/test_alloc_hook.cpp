@@ -17,6 +17,8 @@
 
 #include "agc/exec/executor.hpp"
 #include "agc/graph/generators.hpp"
+#include "agc/obs/event_sink.hpp"
+#include "agc/obs/phase_timer.hpp"
 #include "agc/runtime/engine.hpp"
 
 namespace {
@@ -85,6 +87,31 @@ TEST(AllocHook, RoundLoopIsAllocationFreeForBoundedModels) {
       expect_steady_state_alloc_free(model, threads);
     }
   }
+}
+
+TEST(AllocHook, ObservabilityOnStaysAllocationFree) {
+  // Phase timers AND a ring sink attached: the profile's shard vectors grow
+  // during warm-up, the ring is preallocated, and Event records are
+  // trivially-copyable — so the steady-state round loop stays at zero
+  // allocations even with full observability enabled.
+  const auto g = graph::random_regular(256, 8, 5);
+  Engine engine(g, Transport(Model::SET_LOCAL));
+  engine.set_executor(exec::make_executor(2));
+  obs::PhaseProfile profile;
+  obs::RingSink sink(64);
+  engine.set_profile(&profile);
+  engine.set_sink(&sink);
+  engine.install(
+      [](const VertexEnv&) { return std::make_unique<ParityProgram>(); });
+  for (int i = 0; i < 3; ++i) engine.step();
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 8; ++i) engine.step();
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed) - before, 0u);
+
+  // And the instrumentation actually observed the rounds.
+  EXPECT_GT(profile.folded().total_ns(), 0u);
+  EXPECT_EQ(sink.seen(), 11u);  // one RoundEnd per step
 }
 
 TEST(AllocHook, LocalModelSpillPathReachesSteadyState) {

@@ -414,8 +414,8 @@ TEST(Pipelines, RoundBoundsOrdering) {
   const auto kw = coloring::color_kuhn_wattenhofer(g);
   const auto gps = coloring::color_linial_greedy(g);
   ASSERT_TRUE(ours.converged && kw.converged && gps.converged);
-  EXPECT_LT(ours.total_rounds, kw.total_rounds);
-  EXPECT_LT(kw.total_rounds, gps.total_rounds);
+  EXPECT_LT(ours.rounds, kw.rounds);
+  EXPECT_LT(kw.rounds, gps.rounds);
 }
 
 }  // namespace

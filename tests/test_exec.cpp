@@ -55,7 +55,7 @@ TEST(ExecDeterminism, PipelineAcrossModelsThreadsGraphs) {
         par.iter.executor = exec::make_executor(threads);
         const auto rep = coloring::color_delta_plus_one(g, par);
         EXPECT_EQ(rep.colors, seq.colors) << "threads=" << threads;
-        EXPECT_EQ(rep.total_rounds, seq.total_rounds) << "threads=" << threads;
+        EXPECT_EQ(rep.rounds, seq.rounds) << "threads=" << threads;
         EXPECT_EQ(rep.palette, seq.palette);
         EXPECT_EQ(rep.proper_each_round, seq.proper_each_round);
         expect_same_metrics(rep.metrics, seq.metrics);

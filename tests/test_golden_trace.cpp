@@ -103,7 +103,7 @@ TEST(GoldenTrace, PipelineAcrossModels) {
         ASSERT_TRUE(rep.proper);
         Fnv h;
         h.mix_all(rep.colors);
-        h.mix(rep.total_rounds);
+        h.mix(rep.rounds);
         h.mix(rep.palette);
         h.mix(static_cast<std::uint64_t>(rep.proper_each_round));
         h.mix_metrics(rep.metrics);

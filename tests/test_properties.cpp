@@ -168,7 +168,7 @@ TEST(Determinism, PipelinesAreReproducible) {
   const auto a = coloring::color_delta_plus_one(g);
   const auto b = coloring::color_delta_plus_one(g);
   EXPECT_EQ(a.colors, b.colors);
-  EXPECT_EQ(a.total_rounds, b.total_rounds);
+  EXPECT_EQ(a.rounds, b.rounds);
   EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits);
 }
 

@@ -40,7 +40,7 @@ TEST(Smoke, AgBeatsKwInRounds) {
   const auto kw = coloring::color_kuhn_wattenhofer(g);
   ASSERT_TRUE(ours.converged && kw.converged);
   // The headline: O(Delta) vs O(Delta log Delta).
-  EXPECT_LT(ours.total_rounds, kw.total_rounds);
+  EXPECT_LT(ours.rounds, kw.rounds);
 }
 
 }  // namespace

@@ -47,7 +47,7 @@ TEST(Trace, SplicesPipelineStages) {
   for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
     EXPECT_LT(pts[i].round, pts[i + 1].round);
   }
-  EXPECT_EQ(pts.back().round, rep.total_rounds);
+  EXPECT_EQ(pts.back().round, rep.rounds);
 }
 
 TEST(Trace, CsvAndAsciiOutput) {

@@ -11,6 +11,11 @@
 // --threads N (or AGC_THREADS) runs the round engine on the exec subsystem's
 // N-thread backend (N=0: all hardware threads); results are bit-identical to
 // the sequential engine by the shard-determinism contract (docs/EXEC.md).
+//
+// Observability (every command above):
+//   --jsonl FILE   stream structured run events (JSONL) to FILE; analyze with
+//                  `agc-trace dump|summary FILE` (docs/OBSERVABILITY.md)
+//   --phases       collect per-phase timings and print the telemetry summary
 //   agccli gen      --graph <spec> --out <file>
 //
 // Graph specs:
@@ -31,6 +36,7 @@
 
 #include "agc/arb/eps_coloring.hpp"
 #include "agc/coloring/pipeline.hpp"
+#include "agc/obs/event_sink.hpp"
 #include "agc/coloring/symmetry.hpp"
 #include "agc/edge/edge_coloring.hpp"
 #include "agc/exec/executor.hpp"
@@ -107,6 +113,31 @@ struct Args {
   }
 };
 
+/// --jsonl/--phases wiring: owns the trace stream + sink for one command and
+/// applies them to any RunOptions-derived options struct.
+struct ObsFlags {
+  std::ofstream out;
+  std::unique_ptr<obs::JsonlSink> sink;
+  bool phases = false;
+
+  explicit ObsFlags(const Args& a) : phases(a.has("phases")) {
+    if (a.has("jsonl")) {
+      out.open(a.get("jsonl"));
+      if (!out) usage("cannot open --jsonl file");
+      sink = std::make_unique<obs::JsonlSink>(out);
+    }
+  }
+
+  void apply(runtime::RunOptions& opts) {
+    if (sink) opts.sink = sink.get();
+    opts.collect_phase_times = phases;
+  }
+
+  void report(const runtime::RunReport& rep) const {
+    if (phases) rep.telemetry().write_summary(std::cout);
+  }
+};
+
 Args parse(int argc, char** argv) {
   if (argc < 2) usage();
   Args a;
@@ -116,7 +147,8 @@ Args parse(int argc, char** argv) {
     if (key.rfind("--", 0) != 0) usage("options start with --");
     key = key.substr(2);
     // Flags without values.
-    if (key == "bit-round" || key == "no-exact" || key == "exact") {
+    if (key == "bit-round" || key == "no-exact" || key == "exact" ||
+        key == "phases") {
       a.kv[key] = "1";
       continue;
     }
@@ -129,8 +161,10 @@ Args parse(int argc, char** argv) {
 
 int cmd_color(const Args& a) {
   const auto g = make_graph(a.get("graph"));
+  ObsFlags ob(a);
   coloring::PipelineOptions opts;
   opts.iter.executor = a.executor();
+  ob.apply(opts.iter);
   runtime::TraceRecorder trace(g, nullptr);
   if (a.has("trace")) opts.iter.on_round = trace.observer();
   const std::string model = a.get("model", "setlocal");
@@ -146,17 +180,20 @@ int cmd_color(const Args& a) {
   std::vector<coloring::Color> colors;
   std::size_t rounds = 0, palette = 0;
   bool ok = false;
+  runtime::RunReport core;
   if (algo == "eps" || algo == "sublinear") {
     const auto rep =
         algo == "eps"
             ? arb::eps_delta_coloring(
                   g, std::strtod(a.get("eps", "0.5").c_str(), nullptr), 0,
-                  a.executor())
-            : arb::sublinear_delta_plus_one(g, 0, a.executor());
+                  static_cast<const runtime::RunOptions&>(opts.iter))
+            : arb::sublinear_delta_plus_one(
+                  g, 0, static_cast<const runtime::RunOptions&>(opts.iter));
     colors = rep.colors;
     rounds = rep.rounds;
     palette = rep.palette;
     ok = rep.converged && rep.proper;
+    core = rep;
   } else {
     coloring::PipelineReport rep;
     if (algo == "ag") {
@@ -173,15 +210,17 @@ int cmd_color(const Args& a) {
       usage("unknown --algo");
     }
     colors = rep.colors;
-    rounds = rep.total_rounds;
+    rounds = rep.rounds;
     palette = rep.palette;
     ok = rep.converged && rep.proper;
+    core = rep;
   }
 
   std::printf("n=%zu m=%zu Delta=%zu algo=%s model=%s\n", g.n(), g.m(),
               g.max_degree(), algo.c_str(), model.c_str());
   std::printf("rounds=%zu palette=%zu proper=%s\n", rounds, palette,
               ok ? "yes" : "NO");
+  ob.report(core);
   if (a.has("csv")) {
     std::ofstream out(a.get("csv"));
     graph::write_coloring_csv(out, colors);
@@ -199,8 +238,10 @@ int cmd_color(const Args& a) {
 
 int cmd_edges(const Args& a) {
   const auto g = make_graph(a.get("graph"));
+  ObsFlags ob(a);
   edge::EdgeColoringOptions opts;
   opts.executor = a.executor();
+  ob.apply(opts);
   opts.bit_round = a.has("bit-round");
   opts.exact = !a.has("no-exact");
   const auto res = edge::color_edges_distributed(g, opts);
@@ -214,27 +255,38 @@ int cmd_edges(const Args& a) {
     std::ofstream out(a.get("csv"));
     graph::write_coloring_csv(out, res.colors);
   }
+  ob.report(res);
   return res.proper ? 0 : 1;
 }
 
 int cmd_mis(const Args& a) {
   const auto g = make_graph(a.get("graph"));
-  const auto rep = coloring::maximal_independent_set(g);
+  ObsFlags ob(a);
+  coloring::PipelineOptions opts;
+  opts.iter.executor = a.executor();
+  ob.apply(opts.iter);
+  const auto rep = coloring::maximal_independent_set(g, opts);
   std::size_t size = 0;
   for (bool b : rep.in_mis) size += b;
   std::printf("n=%zu m=%zu Delta=%zu\n", g.n(), g.m(), g.max_degree());
   std::printf("rounds=%zu (coloring %zu + wave %zu) |MIS|=%zu valid=%s\n",
               rep.rounds_coloring + rep.rounds_mis, rep.rounds_coloring,
               rep.rounds_mis, size, rep.valid ? "yes" : "NO");
+  ob.report(rep);
   return rep.valid ? 0 : 1;
 }
 
 int cmd_match(const Args& a) {
   const auto g = make_graph(a.get("graph"));
-  const auto rep = coloring::maximal_matching(g);
+  ObsFlags ob(a);
+  coloring::PipelineOptions opts;
+  opts.iter.executor = a.executor();
+  ob.apply(opts.iter);
+  const auto rep = coloring::maximal_matching(g, opts);
   std::printf("n=%zu m=%zu Delta=%zu\n", g.n(), g.m(), g.max_degree());
   std::printf("line-graph rounds=%zu |M|=%zu valid=%s\n", rep.rounds,
               rep.matching.size(), rep.valid ? "yes" : "NO");
+  ob.report(rep);
   return rep.valid ? 0 : 1;
 }
 
@@ -252,17 +304,22 @@ int cmd_selfstab(const Args& a) {
 
   const auto faults = std::strtoull(a.get("faults", "16").c_str(), nullptr, 10);
   const auto epochs = std::strtoull(a.get("epochs", "3").c_str(), nullptr, 10);
+  ObsFlags ob(a);
+  runtime::RunOptions ro;
+  ro.max_rounds = 1000000;
+  ob.apply(ro);
   runtime::Adversary adv(1);
   for (std::uint64_t e = 0; e <= epochs; ++e) {
     if (e > 0) {
       adv.corrupt_random(engine, faults, cfg.span());
       adv.clone_neighbor(engine, faults / 2 + 1);
     }
-    const auto rep = selfstab::run_until_stable(engine, cfg, 1000000);
+    const auto rep = selfstab::run_until_stable(engine, cfg, ro);
     std::printf("epoch %llu: %s after %zu rounds (palette<=%llu)\n",
                 static_cast<unsigned long long>(e),
                 rep.stabilized ? "stable" : "NOT STABLE", rep.rounds_to_stable,
                 static_cast<unsigned long long>(cfg.final_palette()));
+    ob.report(rep);
     if (!rep.stabilized) return 1;
   }
   return 0;
