@@ -15,6 +15,7 @@
 #include "agc/math/polynomial.hpp"
 #include "agc/math/primes.hpp"
 #include "agc/exec/executor.hpp"
+#include "agc/faultlab/channel.hpp"
 #include "agc/obs/event_sink.hpp"
 #include "agc/obs/phase_timer.hpp"
 #include "agc/runtime/engine.hpp"
@@ -206,6 +207,38 @@ void BM_MessagePathObserved(benchmark::State& state) {
   message_path_rounds(state, g, runtime::Model::SET_LOCAL, 1, &profile, &sink);
 }
 BENCHMARK(BM_MessagePathObserved)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// The same loop with a ChannelAdversary on the wire (all four fault kinds at
+// 1% each).  The gap to BM_MessagePathRegular is the full price of fault
+// injection: one hash roll per nonempty port per round plus the doubled spill
+// lane reservation; steady-state allocation-free (tests/test_alloc_hook.cpp).
+void BM_MessagePathChannelAdversary(benchmark::State& state) {
+  const auto delta = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_regular(4096, delta, 97 + delta);
+  faultlab::ChannelFaultConfig cfg;
+  cfg.seed = 11;
+  cfg.drop_per_million = 10'000;
+  cfg.corrupt_per_million = 10'000;
+  cfg.duplicate_per_million = 10'000;
+  cfg.delay_per_million = 10'000;
+  faultlab::ChannelAdversary chan(cfg);
+  runtime::Engine engine(g, runtime::Transport(runtime::Model::SET_LOCAL));
+  engine.set_executor(exec::make_executor(1));
+  engine.set_channel(&chan);
+  engine.install([](const runtime::VertexEnv&) {
+    return std::make_unique<BroadcastFoldProgram>();
+  });
+  engine.step();  // warm the mailbox path, lanes and delay stash
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["threads"] = 1.0;
+}
+BENCHMARK(BM_MessagePathChannelAdversary)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 // The same loop on the exec backend's threads (--threads/AGC_THREADS).
 void BM_MessagePathRegularThreaded(benchmark::State& state) {

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "agc/faultlab/plan.hpp"
+
+/// \file shrink.hpp
+/// Delta-debugging minimizer for fault plans.
+///
+/// A nightly fuzz campaign that finds a failing trajectory records a plan
+/// with hundreds of events; almost all of them are irrelevant.  shrink_plan
+/// runs classic ddmin over the event list: repeatedly re-execute the system
+/// under candidate sub-plans (the caller's `reproduces` predicate — replay
+/// determinism makes this sound) and keep the smallest plan that still
+/// fails.  The result is 1-minimal: removing any single remaining event
+/// makes the failure disappear.
+
+namespace agc::faultlab {
+
+struct ShrinkStats {
+  std::size_t initial_events = 0;
+  std::size_t final_events = 0;
+  std::size_t probes = 0;  ///< predicate evaluations spent
+};
+
+/// Minimize `plan` under `reproduces` (which must return true for the input
+/// plan itself; if it does not, the input is returned unchanged).  The
+/// predicate is called O(k^2) times in the worst case for a k-event result —
+/// budget accordingly; `max_probes` hard-caps the spend (0 = unlimited).
+[[nodiscard]] FaultPlan shrink_plan(
+    const FaultPlan& plan,
+    const std::function<bool(const FaultPlan&)>& reproduces,
+    ShrinkStats* stats = nullptr, std::size_t max_probes = 0);
+
+}  // namespace agc::faultlab

@@ -89,7 +89,8 @@ struct EngineOptions {
   std::uint64_t n_bound = 0;
 };
 
-class RoundExecutor;  // round.hpp — the engine's execution backend
+class RoundExecutor;   // round.hpp — the engine's execution backend
+class FaultEventSink;  // faults.hpp — fault recording hook
 
 class Engine {
  public:
@@ -151,6 +152,23 @@ class Engine {
   void set_sink(obs::EventSink* sink) noexcept { sink_ = sink; }
   [[nodiscard]] obs::EventSink* sink() const noexcept { return sink_; }
 
+  /// Message-path fault hook (non-owning; null = clean wire, the default).
+  /// Runs inside every send phase after transport validation — see
+  /// ChannelHook in transport.hpp for the concurrency contract.
+  void set_channel(ChannelHook* channel) noexcept { channel_ = channel; }
+  [[nodiscard]] ChannelHook* channel() const noexcept { return channel_; }
+
+  /// Fault recorder (non-owning; null = no recording).  The adversary
+  /// interface below reports every successful mutation to it, so a recorded
+  /// plan replays exactly what happened — including mutations an adversary
+  /// attempted that silently no-opped (those are *not* recorded).
+  void set_fault_recorder(FaultEventSink* recorder) noexcept {
+    fault_recorder_ = recorder;
+  }
+  [[nodiscard]] FaultEventSink* fault_recorder() const noexcept {
+    return fault_recorder_;
+  }
+
   // --- Adversary interface (fully-dynamic self-stabilizing setting) -------
 
   /// Overwrite one RAM word of v.  No-op if the program exposes no RAM.
@@ -186,6 +204,8 @@ class Engine {
   std::function<void(const Engine&, std::size_t)> observer_;
   obs::PhaseProfile* profile_ = nullptr;
   obs::EventSink* sink_ = nullptr;
+  ChannelHook* channel_ = nullptr;
+  FaultEventSink* fault_recorder_ = nullptr;
 };
 
 }  // namespace agc::runtime

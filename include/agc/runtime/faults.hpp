@@ -23,6 +23,52 @@
 
 namespace agc::runtime {
 
+/// What one injected fault did.  The engine's adversary interface records
+/// RAM/topology kinds with the engine round they happened *after*; channel
+/// hooks record wire kinds with the 0-based round they happened *inside*.
+/// The two domains replay at different points of the round loop, so a plan
+/// orders them independently (see faultlab/plan.hpp).
+enum class FaultKind : std::uint8_t {
+  Ram = 0,      ///< RAM word `word` of vertex v overwritten with `value`
+  AddEdge,      ///< edge {u, v} inserted
+  RemoveEdge,   ///< edge {u, v} deleted
+  ResetVertex,  ///< vertex v crashed/recovered (edges dropped, program reset)
+  AddVertex,    ///< a fresh vertex appended (its id is `v`)
+  Drop,         ///< message u -> v discarded on the wire
+  Corrupt,      ///< bit `value` of word `word` of message u -> v flipped
+  Duplicate,    ///< word `word` of message u -> v delivered twice
+  Delay,        ///< message u -> v held back one round
+};
+
+[[nodiscard]] const char* to_string(FaultKind k) noexcept;
+[[nodiscard]] constexpr bool is_channel_fault(FaultKind k) noexcept {
+  return k >= FaultKind::Drop;
+}
+
+/// One fault, fully determined: replaying the same record reproduces the
+/// same mutation.  Trivially copyable so recording never allocates per event.
+struct FaultEvent {
+  std::uint64_t round = 0;  ///< engine round (see FaultKind for the anchor)
+  FaultKind kind = FaultKind::Ram;
+  std::uint32_t u = 0;      ///< channel sender / edge endpoint (else unused)
+  std::uint32_t v = 0;      ///< vertex / channel receiver / edge endpoint
+  std::uint32_t word = 0;   ///< RAM word index, or word index within a message
+  std::uint64_t value = 0;  ///< RAM value, or flipped bit index for Corrupt
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Recording hook: the engine calls record() from its adversary-interface
+/// methods (corrupt_ram / add_edge / remove_edge / reset_vertex /
+/// add_vertex), channel hooks call it from apply().  Channel records arrive
+/// from executor shards concurrently, so implementations must be
+/// thread-safe; faultlab::FaultPlanRecorder is the canonical one.
+class FaultEventSink {
+ public:
+  virtual ~FaultEventSink() = default;
+  virtual void record(const FaultEvent& event) = 0;
+};
+
 class Adversary {
  public:
   explicit Adversary(std::uint64_t seed) : rng_(seed) {}
@@ -79,11 +125,22 @@ class FaultAdversary {
 /// `last_round` (inclusive), then goes quiet — matching the paper's promise
 /// that faults eventually stop.  Each firing applies the configured mix of
 /// primitives from the `Adversary` toolbox.
+///
+/// Boundary semantics (pinned by tests/test_faultlab.cpp):
+///   * Runners pass the 1-based index of the round that just completed, and
+///     inject() additionally guards round == 0 — so "round % period == 0"
+///     NEVER fires before the first round, for any period.
+///   * `last_round` quiescence is inclusive: a round equal to last_round
+///     still fires (if the period divides it); last_round + 1 never does.
+///   * Every primitive the toolbox applies counts exactly one event —
+///     including the reconnect edges of churn_vertices — so after any
+///     multi-stage RunReport::absorb() rollup, fault_events equals
+///     Adversary::events().
 class PeriodicAdversary final : public FaultAdversary {
  public:
   struct Schedule {
-    std::size_t period = 1;       ///< fire when round % period == 0
-    std::size_t last_round =      ///< quiesce after this round
+    std::size_t period = 1;       ///< fire when round % period == 0 (round >= 1)
+    std::size_t last_round =      ///< quiesce after this round (inclusive)
         std::numeric_limits<std::size_t>::max();
     std::size_t corrupt = 0;        ///< vertices to corrupt_random per firing
     std::uint64_t value_range = 0;  ///< corruption value range (0 = full word)

@@ -137,6 +137,35 @@ class MailboxArena {
     return {p, h.count};
   }
 
+  // --- Channel-fault mutation (runtime::ChannelHook implementations) -------
+  // A hook runs inside the send phase on the shard that owns the sender, so
+  // these touch only state that shard already owns; see transport.hpp.
+
+  /// Mutable view of the words at `gp` (corrupt-in-place).
+  [[nodiscard]] std::span<Word> words_mutable(std::uint32_t gp) noexcept {
+    const Port& h = headers_[gp];
+    if (h.count == 0) return {};
+    Word* p = h.lane == kNoLane ? &inline_[gp * kInline]
+                                : &lanes_[h.lane].buf[h.begin];
+    return {p, h.count};
+  }
+
+  /// Drop everything queued at `gp` this round.  The spill run (if any) stays
+  /// accounted in its lane until the next round's reset — capacity, not
+  /// contents, so nothing leaks.
+  void clear_port(std::uint32_t gp) noexcept {
+    headers_[gp].count = 0;
+    headers_[gp].lane = kNoLane;
+  }
+
+  /// Grow lane `shard` to at least `words` total capacity up front, so a
+  /// channel hook's in-round pushes (duplicate / delayed arrivals) never
+  /// reallocate mid-phase.  No-op once the lane is big enough — the
+  /// steady-state guarantee of test_alloc_hook.
+  void reserve_lane(std::size_t shard, std::size_t words) {
+    if (lanes_[shard].buf.size() < words) lanes_[shard].buf.resize(words);
+  }
+
   [[nodiscard]] std::size_t n() const noexcept { return base_.size() - 1; }
   [[nodiscard]] std::uint32_t base(graph::Vertex v) const noexcept {
     return base_[v];

@@ -49,7 +49,8 @@ class RoundContext {
                std::vector<std::unique_ptr<VertexProgram>>& programs,
                std::vector<VertexEnv>& envs, EdgeBitLedger& ledger,
                MailboxArena& arena, std::uint64_t round,
-               obs::PhaseProfile* profile = nullptr);
+               obs::PhaseProfile* profile = nullptr,
+               ChannelHook* channel = nullptr);
 
   [[nodiscard]] std::size_t n() const noexcept { return graph_.n(); }
 
@@ -66,7 +67,10 @@ class RoundContext {
   }
 
   /// Phase 1: refresh envs, reset the shard's ports and spill lane, collect
-  /// and validate outgoing messages of senders [begin, end).
+  /// and validate outgoing messages of senders [begin, end).  When a channel
+  /// hook is installed it attacks each sender's validated ports right here,
+  /// still inside the shard that owns them — faults need no extra phase or
+  /// barrier, and the per-sender order is identical for every shard count.
   void send(graph::Vertex begin, graph::Vertex end, std::size_t shard);
 
   /// Phase 2: account every message addressed to receivers [begin, end),
@@ -94,6 +98,7 @@ class RoundContext {
   MailboxArena& arena_;
   std::uint64_t round_;
   obs::PhaseProfile* profile_;
+  ChannelHook* channel_;
 };
 
 /// Execution backend interface: runs the three phases of one round with

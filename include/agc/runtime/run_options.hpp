@@ -46,6 +46,13 @@ struct RunOptions {
   /// runners; see faults.hpp for the hook contract.
   FaultAdversary* adversary = nullptr;
 
+  /// Message-path fault hook run inside every send phase (non-owning; null =
+  /// clean wire).  Unlike the adversary it attacks messages, not RAM or
+  /// topology; see ChannelHook in transport.hpp and src/faultlab for the
+  /// seeded implementation.  Channel events count into
+  /// RunReport::fault_events like adversary events do.
+  ChannelHook* channel = nullptr;
+
   /// Structured event sink (non-owning; null = observability off, the
   /// default — emission is skipped behind one branch and the steady-state
   /// round loop stays allocation-free).

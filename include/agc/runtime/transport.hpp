@@ -44,4 +44,44 @@ class Transport {
   std::uint32_t congest_bits_;
 };
 
+/// The message-path fault hook (src/faultlab implements it).
+///
+/// While the FaultAdversary of faults.hpp attacks RAM and topology *between*
+/// rounds, a ChannelHook attacks messages *inside* a round: it runs right
+/// after a sender's outbox passed model validation — the sender was honest,
+/// the wire is not — and may drop, duplicate, corrupt or delay the words
+/// queued at that sender's ports, in place in the MailboxArena.
+///
+/// Concurrency contract: apply(v) is called by the shard that owns sender v,
+/// so an implementation may keep per-port state (e.g. a delay stash) as long
+/// as slots are only touched through the owning sender's ports.  Any decision
+/// an implementation takes must be a pure function of (its own seed/plan,
+/// round, sender, receiver) so trajectories are bit-identical for every shard
+/// count.  begin_round runs on the driving thread between rounds and is the
+/// only place an implementation may allocate (rebinding per-port state after
+/// topology churn); steady-state apply() must not allocate.
+class ChannelHook {
+ public:
+  virtual ~ChannelHook() = default;
+
+  /// Driving thread, once per engine step, after the arena's port tables are
+  /// rebuilt (if churned) and before any send.  `round` is the 0-based engine
+  /// round about to execute.
+  virtual void begin_round(const MailboxArena& arena, const graph::Graph& g,
+                           std::uint64_t round) = 0;
+
+  /// Attack the validated outgoing ports of sender `v` for round `round`.
+  /// Executed by shard `shard` inside the send phase.
+  virtual void apply(MailboxArena& arena, const graph::Graph& g,
+                     graph::Vertex v, std::uint64_t round,
+                     std::size_t shard) = 0;
+
+  /// Static-lifetime label used in emitted fault events.
+  [[nodiscard]] virtual const char* name() const noexcept { return "channel"; }
+
+  /// Total channel fault events injected so far.  Implementations accumulate
+  /// with relaxed atomics, so the sum is shard-count-independent.
+  [[nodiscard]] virtual std::uint64_t events() const noexcept = 0;
+};
+
 }  // namespace agc::runtime

@@ -48,6 +48,30 @@ void run_until(runtime::Engine& engine, const runtime::RunOptions& opts,
     ev.value = engine.graph().n();
     opts.sink->emit(ev);
   }
+  runtime::ChannelHook* const prev_channel = engine.channel();
+  if (opts.channel != nullptr) engine.set_channel(opts.channel);
+  std::uint64_t channel_seen =
+      opts.channel != nullptr ? opts.channel->events() : 0;
+  // Channel faults injected by a step count as adversary events: they reset
+  // the stabilization clock (the wire being attacked means faults have not
+  // stopped yet) and roll into RunReport::fault_events.
+  auto drain_channel = [&](bool reset_clock) {
+    if (opts.channel == nullptr) return;
+    const std::uint64_t now = opts.channel->events();
+    if (now > channel_seen) {
+      rep.fault_events += now - channel_seen;
+      if (reset_clock) rep.rounds_to_stable = 0;
+      if (opts.sink != nullptr) {
+        obs::Event ev;
+        ev.kind = obs::EventKind::Fault;
+        ev.round = engine.rounds();
+        ev.label = opts.channel->name();
+        ev.value = now - channel_seen;
+        opts.sink->emit(ev);
+      }
+      channel_seen = now;
+    }
+  };
   const runtime::Metrics before = engine.metrics();
 
   auto check = [&] {
@@ -57,44 +81,53 @@ void run_until(runtime::Engine& engine, const runtime::RunOptions& opts,
 
   std::size_t executed = 0;
   bool ok = check();
-  while (rep.rounds_to_stable < opts.max_rounds && !ok) {
-    engine.step();
-    ++executed;
-    ++rep.rounds_to_stable;
-    if (opts.adversary != nullptr) {
-      std::size_t injected = 0;
-      {
-        obs::ScopedPhaseTimer timer(extra, obs::Phase::Fault);
-        injected = opts.adversary->inject(engine, executed);
-      }
-      if (injected > 0) {
-        rep.fault_events += injected;
-        rep.rounds_to_stable = 0;  // the clock restarts at the last fault
-        if (opts.sink != nullptr) {
-          obs::Event ev;
-          ev.kind = obs::EventKind::Fault;
-          ev.round = engine.rounds();
-          ev.label = opts.adversary->name();
-          ev.value = injected;
-          opts.sink->emit(ev);
+  while (true) {
+    while (rep.rounds_to_stable < opts.max_rounds && !ok) {
+      engine.step();
+      ++executed;
+      ++rep.rounds_to_stable;
+      drain_channel(/*reset_clock=*/true);
+      if (opts.adversary != nullptr) {
+        std::size_t injected = 0;
+        {
+          obs::ScopedPhaseTimer timer(extra, obs::Phase::Fault);
+          injected = opts.adversary->inject(engine, executed);
+        }
+        if (injected > 0) {
+          rep.fault_events += injected;
+          rep.rounds_to_stable = 0;  // the clock restarts at the last fault
+          if (opts.sink != nullptr) {
+            obs::Event ev;
+            ev.kind = obs::EventKind::Fault;
+            ev.round = engine.rounds();
+            ev.label = opts.adversary->name();
+            ev.value = injected;
+            opts.sink->emit(ev);
+          }
         }
       }
+      ok = check();
     }
-    ok = check();
-  }
+    if (!ok) break;  // stabilization budget exhausted
 
-  if (ok) {
-    // Confirm quiescence: the configuration must be a fixed point.
+    // Confirm quiescence: the configuration must be a fixed point.  A wire
+    // fault mid-window resets the stabilization clock like any other fault
+    // (the predicate held only transiently — e.g. a ChannelAdversary whose
+    // active window is still open), so on a changed snapshot the search
+    // RESUMES instead of giving up, until the round budget runs dry.
     const auto snap = snapshot();
     rep.stabilized = true;
     for (std::size_t i = 0; i < confirm_rounds; ++i) {
       engine.step();
       ++executed;
+      drain_channel(/*reset_clock=*/true);
       if (snapshot() != snap) {
         rep.stabilized = false;  // not actually stable
         break;
       }
     }
+    if (rep.stabilized || executed >= opts.max_rounds) break;
+    ok = check();
   }
 
   rep.rounds = executed;
@@ -111,6 +144,7 @@ void run_until(runtime::Engine& engine, const runtime::RunOptions& opts,
     rep.phases = profile.folded();
   }
   rep.wall_ns = obs::monotonic_ns() - t0;
+  if (opts.channel != nullptr) engine.set_channel(prev_channel);
   if (opts.sink != nullptr) {
     obs::Event ev;
     ev.kind = obs::EventKind::RunEnd;

@@ -344,6 +344,9 @@ EdgeColoringResult color_edges_distributed(const graph::Graph& g,
                      : runtime::Transport(runtime::Model::CONGEST, opts.congest_bits);
   runtime::Engine engine(g, transport);
   engine.set_executor(opts.executor);
+  if (opts.channel != nullptr) engine.set_channel(opts.channel);
+  std::uint64_t channel_seen =
+      opts.channel != nullptr ? opts.channel->events() : 0;
 
   obs::PhaseProfile profile;
   if (opts.collect_phase_times) engine.set_profile(&profile);
@@ -388,6 +391,21 @@ EdgeColoringResult color_edges_distributed(const graph::Graph& g,
   while (result.rounds < cap && !engine.all_halted()) {
     engine.step();
     ++result.rounds;
+    if (opts.channel != nullptr) {
+      const std::uint64_t now = opts.channel->events();
+      if (now > channel_seen) {
+        result.fault_events += now - channel_seen;
+        if (opts.sink != nullptr) {
+          obs::Event ev;
+          ev.kind = obs::EventKind::Fault;
+          ev.round = result.rounds;
+          ev.label = opts.channel->name();
+          ev.value = now - channel_seen;
+          opts.sink->emit(ev);
+        }
+        channel_seen = now;
+      }
+    }
     if (opts.adversary != nullptr) {
       // The edge program keeps no adversary-visible RAM (a static protocol),
       // so injections here exercise churn/accounting paths; the proper /

@@ -1,0 +1,194 @@
+#include "agc/faultlab/harness.hpp"
+
+#include <algorithm>
+
+#include "agc/obs/event_sink.hpp"
+#include "agc/runtime/faults.hpp"
+
+namespace agc::faultlab {
+
+namespace {
+
+using runtime::Engine;
+using runtime::RunOptions;
+
+void emit_fault(const RunOptions& opts, const Engine& engine, const char* label,
+                std::uint64_t count) {
+  if (opts.sink == nullptr) return;
+  obs::Event ev;
+  ev.kind = obs::EventKind::Fault;
+  ev.round = engine.rounds();
+  ev.label = label;
+  ev.value = count;
+  opts.sink->emit(ev);
+}
+
+}  // namespace
+
+const char* to_string(ViolationKind k) noexcept {
+  switch (k) {
+    case ViolationKind::None: return "none";
+    case ViolationKind::MonochromaticEdge: return "monochromatic_edge";
+    case ViolationKind::OutOfPalette: return "out_of_palette";
+    case ViolationKind::InvalidState: return "invalid_state";
+    case ViolationKind::NeverSettled: return "never_settled";
+  }
+  return "?";
+}
+
+StabilizationOutcome run_stabilization(Engine& engine, const RunOptions& opts,
+                                       const StabilizationSpec& spec) {
+  const std::uint64_t t0 = obs::monotonic_ns();
+  StabilizationOutcome out;
+  const runtime::Metrics before = engine.metrics();
+  const std::size_t settle_budget =
+      spec.settle_budget != 0 ? spec.settle_budget : spec.recovery_budget;
+
+  // --- Phase 0: fault-free fixed point ------------------------------------
+  std::size_t executed = 0;
+  Violation v = spec.check(engine);
+  while (v && executed < settle_budget && executed < opts.max_rounds) {
+    engine.step();
+    ++executed;
+    v = spec.check(engine);
+  }
+  if (v) {
+    out.violation = v;
+    out.violation.kind = ViolationKind::NeverSettled;
+    out.violation.round = engine.rounds();
+    out.rounds = executed;
+    out.wall_ns = obs::monotonic_ns() - t0;
+    return out;
+  }
+  const std::vector<std::uint64_t> baseline = spec.outputs(engine);
+
+  // --- Phase 1: fault schedule + recovery, under the watchdog -------------
+  runtime::ChannelHook* const prev_channel = engine.channel();
+  if (opts.channel != nullptr) engine.set_channel(opts.channel);
+  std::uint64_t channel_seen =
+      opts.channel != nullptr ? opts.channel->events() : 0;
+
+  // The pre-fault fixed point anchors the clocks: a run with an empty
+  // schedule recovers in 0 rounds.
+  out.last_fault_round = engine.rounds();
+  out.first_legal_round = engine.rounds();
+  bool legal = true;  // phase 0 just certified it
+  std::size_t confirmed = 0;
+  out.recovered = spec.confirm_rounds == 0;
+
+  // The adversary's schedule is relative to the START of the fault phase, not
+  // to engine round 0 — phase 0's settle length must not eat the schedule.
+  std::size_t fault_round = 0;
+  while (!out.recovered && executed < opts.max_rounds) {
+    engine.step();
+    ++executed;
+    ++fault_round;
+    std::uint64_t injected = 0;
+    if (opts.channel != nullptr) {
+      const std::uint64_t now = opts.channel->events();
+      if (now > channel_seen) {
+        injected += now - channel_seen;
+        emit_fault(opts, engine, opts.channel->name(), now - channel_seen);
+        channel_seen = now;
+      }
+    }
+    if (opts.adversary != nullptr) {
+      const std::size_t adv = opts.adversary->inject(engine, fault_round);
+      if (adv > 0) {
+        injected += adv;
+        emit_fault(opts, engine, opts.adversary->name(), adv);
+      }
+    }
+    if (injected > 0) {
+      out.fault_events += injected;
+      out.last_fault_round = engine.rounds();
+      legal = false;
+      confirmed = 0;
+    }
+    v = spec.check(engine);
+    if (!v) {
+      if (!legal) {
+        legal = true;
+        out.first_legal_round = engine.rounds();
+        confirmed = 0;
+      }
+      ++confirmed;
+      if (confirmed >= spec.confirm_rounds) out.recovered = true;
+    } else {
+      legal = false;
+      confirmed = 0;
+      // Watchdog: the adversary has been quiet for recovery_budget rounds
+      // and the configuration is still illegal — report what we see and
+      // stop burning rounds.
+      if (engine.rounds() - out.last_fault_round > spec.recovery_budget) {
+        out.violation = v;
+        break;
+      }
+    }
+  }
+
+  if (out.recovered) {
+    out.recovery_rounds = static_cast<std::size_t>(out.first_legal_round -
+                                                   out.last_fault_round);
+    const std::vector<std::uint64_t> after = spec.outputs(engine);
+    const std::size_t common = std::min(baseline.size(), after.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (after[i] != baseline[i]) {
+        out.adjusted.push_back(static_cast<graph::Vertex>(i));
+      }
+    }
+    for (std::size_t i = common; i < after.size(); ++i) {
+      out.adjusted.push_back(static_cast<graph::Vertex>(i));
+    }
+  } else if (!out.violation) {
+    // opts.max_rounds ran out before the watchdog or the confirm window.
+    out.violation = v ? v : Violation{ViolationKind::InvalidState,
+                                      engine.rounds(), 0, 0, 0};
+  }
+
+  if (opts.channel != nullptr) engine.set_channel(prev_channel);
+  out.rounds = executed;
+  out.converged = out.recovered;
+  const runtime::Metrics after_m = engine.metrics();
+  out.metrics.rounds = after_m.rounds - before.rounds;
+  out.metrics.messages = after_m.messages - before.messages;
+  out.metrics.total_bits = after_m.total_bits - before.total_bits;
+  out.metrics.max_edge_bits = after_m.max_edge_bits;
+  out.wall_ns = obs::monotonic_ns() - t0;
+  return out;
+}
+
+CheckFn coloring_check(const selfstab::SsConfig& cfg) {
+  return [&cfg](Engine& engine) -> Violation {
+    const graph::Graph& g = engine.graph();
+    for (graph::Vertex u = 0; u < g.n(); ++u) {
+      const auto ram = engine.ram(u);
+      const std::uint64_t cu = ram.empty() ? 0 : cfg.truncate(ram[0]);
+      if (!cfg.is_final(cu)) {
+        return {ViolationKind::OutOfPalette, engine.rounds(), u, u, cu};
+      }
+      for (const graph::Vertex w : g.neighbors(u)) {
+        if (w <= u) continue;
+        const auto wram = engine.ram(w);
+        const std::uint64_t cw = wram.empty() ? 0 : cfg.truncate(wram[0]);
+        if (cu == cw) {
+          return {ViolationKind::MonochromaticEdge, engine.rounds(), u, w, cu};
+        }
+      }
+    }
+    return {};
+  };
+}
+
+OutputFn coloring_outputs() {
+  return [](Engine& engine) {
+    std::vector<std::uint64_t> out(engine.graph().n(), 0);
+    for (graph::Vertex v = 0; v < engine.graph().n(); ++v) {
+      const auto ram = engine.ram(v);
+      if (!ram.empty()) out[v] = ram[0];
+    }
+    return out;
+  };
+}
+
+}  // namespace agc::faultlab

@@ -1,0 +1,177 @@
+#include "agc/faultlab/plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace agc::faultlab {
+
+namespace {
+
+using runtime::FaultEvent;
+using runtime::FaultKind;
+
+[[nodiscard]] bool kind_from_string(const std::string& s, FaultKind& out) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::Delay); ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    if (s == runtime::to_string(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Extract the value of `"key":` from a JSONL line.  The plan format is
+/// machine-written with a fixed key set, so a targeted scan beats dragging a
+/// JSON library into the core (same stance as tools/agc_trace.cpp).
+[[nodiscard]] bool find_field(const std::string& line, const char* key,
+                              std::string& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t i = pos + needle.size();
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i >= line.size()) return false;
+  if (line[i] == '"') {
+    const auto end = line.find('"', i + 1);
+    if (end == std::string::npos) return false;
+    out = line.substr(i + 1, end - i - 1);
+  } else {
+    std::size_t end = i;
+    while (end < line.size() && (std::isdigit(static_cast<unsigned char>(line[end])) ||
+                                 line[end] == '-')) {
+      ++end;
+    }
+    if (end == i) return false;
+    out = line.substr(i, end - i);
+  }
+  return true;
+}
+
+[[nodiscard]] std::uint64_t to_u64(const std::string& s) {
+  return std::stoull(s);
+}
+
+}  // namespace
+
+void FaultPlan::canonicalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.round != b.round) return a.round < b.round;
+                     const bool ca = runtime::is_channel_fault(a.kind);
+                     const bool cb = runtime::is_channel_fault(b.kind);
+                     if (ca != cb) return cb;  // RAM/topology first
+                     if (!ca) return false;    // keep injection order
+                     if (a.u != b.u) return a.u < b.u;
+                     if (a.v != b.v) return a.v < b.v;
+                     return a.word < b.word;
+                   });
+}
+
+std::string FaultPlan::to_jsonl() const {
+  std::ostringstream out;
+  for (const FaultEvent& ev : events) {
+    out << "{\"round\":" << ev.round << ",\"kind\":\""
+        << runtime::to_string(ev.kind) << "\",\"u\":" << ev.u
+        << ",\"v\":" << ev.v << ",\"word\":" << ev.word
+        << ",\"value\":" << ev.value << "}\n";
+  }
+  return out.str();
+}
+
+void FaultPlan::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("FaultPlan::save: cannot open " + path);
+  out << to_jsonl();
+  if (!out) throw std::runtime_error("FaultPlan::save: write failed: " + path);
+}
+
+FaultPlan FaultPlan::parse(std::istream& in) {
+  FaultPlan plan;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    FaultEvent ev;
+    std::string field;
+    if (!find_field(line, "kind", field) || !kind_from_string(field, ev.kind)) {
+      throw std::runtime_error("FaultPlan: bad kind on line " +
+                               std::to_string(lineno));
+    }
+    if (!find_field(line, "round", field)) {
+      throw std::runtime_error("FaultPlan: missing round on line " +
+                               std::to_string(lineno));
+    }
+    ev.round = to_u64(field);
+    if (find_field(line, "u", field)) ev.u = static_cast<std::uint32_t>(to_u64(field));
+    if (find_field(line, "v", field)) ev.v = static_cast<std::uint32_t>(to_u64(field));
+    if (find_field(line, "word", field)) {
+      ev.word = static_cast<std::uint32_t>(to_u64(field));
+    }
+    if (find_field(line, "value", field)) ev.value = to_u64(field);
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("FaultPlan::load: cannot open " + path);
+  return parse(in);
+}
+
+PlanAdversary::PlanAdversary(FaultPlan plan) {
+  plan.canonicalize();
+  for (const FaultEvent& ev : plan.events) {
+    last_round_ = std::max(last_round_, ev.round);
+    if (!runtime::is_channel_fault(ev.kind)) events_.push_back(ev);
+  }
+}
+
+std::size_t PlanAdversary::inject(runtime::Engine& engine,
+                                  std::size_t /*round*/) {
+  // Match on the engine's own completed-round counter, not the runner's loop
+  // index: recorded rounds anchor to engine.rounds() at injection time, and
+  // engines can be stepped across several runner calls.
+  const std::uint64_t now = engine.rounds();
+  std::size_t applied = 0;
+  while (cursor_ < events_.size() && events_[cursor_].round <= now) {
+    const FaultEvent& ev = events_[cursor_];
+    if (ev.round == now) {
+      switch (ev.kind) {
+        case FaultKind::Ram:
+          engine.corrupt_ram(ev.v, ev.word, ev.value);
+          break;
+        case FaultKind::AddEdge:
+          engine.add_edge(ev.u, ev.v);
+          break;
+        case FaultKind::RemoveEdge:
+          engine.remove_edge(ev.u, ev.v);
+          break;
+        case FaultKind::ResetVertex:
+          engine.reset_vertex(ev.v);
+          break;
+        case FaultKind::AddVertex:
+          engine.add_vertex();
+          break;
+        default:
+          break;
+      }
+      ++applied;
+    }
+    // Events for rounds the runner already passed are unreachable: skip them
+    // so a plan recorded against a different round cadence cannot wedge the
+    // cursor.
+    ++cursor_;
+  }
+  applied_ += applied;
+  return applied;
+}
+
+}  // namespace agc::faultlab

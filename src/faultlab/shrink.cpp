@@ -1,0 +1,68 @@
+#include "agc/faultlab/shrink.hpp"
+
+#include <algorithm>
+
+namespace agc::faultlab {
+
+namespace {
+
+/// The events of `plan` minus the chunk [begin, end).
+[[nodiscard]] FaultPlan without(const FaultPlan& plan, std::size_t begin,
+                                std::size_t end) {
+  FaultPlan out;
+  out.events.reserve(plan.events.size() - (end - begin));
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    if (i < begin || i >= end) out.events.push_back(plan.events[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultPlan shrink_plan(const FaultPlan& plan,
+                      const std::function<bool(const FaultPlan&)>& reproduces,
+                      ShrinkStats* stats, std::size_t max_probes) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  st.initial_events = plan.events.size();
+  st.final_events = plan.events.size();
+  st.probes = 0;
+
+  auto probe = [&](const FaultPlan& candidate) {
+    ++st.probes;
+    return reproduces(candidate);
+  };
+  auto budget_left = [&] { return max_probes == 0 || st.probes < max_probes; };
+
+  FaultPlan current = plan;
+  if (!probe(current)) return current;  // not reproducible to begin with
+
+  // Classic ddmin: partition into `chunks` pieces; try deleting each piece;
+  // on success restart at the coarsest granularity, otherwise refine.
+  std::size_t chunks = 2;
+  while (current.events.size() >= 2 && budget_left()) {
+    const std::size_t n = current.events.size();
+    chunks = std::min(chunks, n);
+    bool reduced = false;
+    for (std::size_t i = 0; i < chunks && budget_left(); ++i) {
+      const std::size_t begin = i * n / chunks;
+      const std::size_t end = (i + 1) * n / chunks;
+      if (begin == end) continue;
+      FaultPlan candidate = without(current, begin, end);
+      if (probe(candidate)) {
+        current = std::move(candidate);
+        chunks = std::max<std::size_t>(2, chunks - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunks >= n) break;  // 1-minimal
+      chunks = std::min(n, 2 * chunks);
+    }
+  }
+  st.final_events = current.events.size();
+  return current;
+}
+
+}  // namespace agc::faultlab

@@ -4,6 +4,7 @@
 
 #include "agc/obs/event_sink.hpp"
 #include "agc/obs/phase_timer.hpp"
+#include "agc/runtime/faults.hpp"
 #include "agc/runtime/round.hpp"
 
 namespace agc::runtime {
@@ -35,10 +36,13 @@ void Engine::step() {
   }
   edge_bits_.ensure(graph_.n());
   arena_.ensure(graph_);  // O(1) unless the adversary churned topology
+  if (channel_ != nullptr) {
+    channel_->begin_round(arena_, graph_, metrics_.rounds);
+  }
   const std::uint64_t t0 = sink_ != nullptr ? obs::monotonic_ns() : 0;
   const std::uint64_t messages_before = metrics_.messages;
   RoundContext ctx(graph_, transport_, opts_, programs_, envs_, edge_bits_,
-                   arena_, metrics_.rounds, profile_);
+                   arena_, metrics_.rounds, profile_, channel_);
   if (executor_) {
     executor_->round(ctx, metrics_);
   } else {
@@ -79,7 +83,13 @@ bool Engine::all_halted() const {
 
 void Engine::corrupt_ram(graph::Vertex v, std::size_t word, std::uint64_t value) {
   auto ram = programs_[v]->ram();
-  if (word < ram.size()) ram[word] = value;
+  if (word < ram.size()) {
+    ram[word] = value;
+    if (fault_recorder_ != nullptr) {
+      fault_recorder_->record({metrics_.rounds, FaultKind::Ram, 0, v,
+                               static_cast<std::uint32_t>(word), value});
+    }
+  }
 }
 
 bool Engine::add_edge(graph::Vertex u, graph::Vertex v) {
@@ -87,6 +97,9 @@ bool Engine::add_edge(graph::Vertex u, graph::Vertex v) {
   if (ok) {
     refresh_env(u);
     refresh_env(v);
+    if (fault_recorder_ != nullptr) {
+      fault_recorder_->record({metrics_.rounds, FaultKind::AddEdge, u, v, 0, 0});
+    }
   }
   return ok;
 }
@@ -96,6 +109,9 @@ bool Engine::remove_edge(graph::Vertex u, graph::Vertex v) {
   if (ok) {
     refresh_env(u);
     refresh_env(v);
+    if (fault_recorder_ != nullptr) {
+      fault_recorder_->record({metrics_.rounds, FaultKind::RemoveEdge, u, v, 0, 0});
+    }
   }
   return ok;
 }
@@ -106,6 +122,9 @@ graph::Vertex Engine::add_vertex() {
   refresh_env(v);
   programs_.push_back(factory_(envs_[v]));
   programs_.back()->on_start(envs_[v]);
+  if (fault_recorder_ != nullptr) {
+    fault_recorder_->record({metrics_.rounds, FaultKind::AddVertex, 0, v, 0, 0});
+  }
   return v;
 }
 
@@ -114,6 +133,9 @@ void Engine::reset_vertex(graph::Vertex v) {
   refresh_env(v);
   programs_[v] = factory_(envs_[v]);
   programs_[v]->on_start(envs_[v]);
+  if (fault_recorder_ != nullptr) {
+    fault_recorder_->record({metrics_.rounds, FaultKind::ResetVertex, 0, v, 0, 0});
+  }
 }
 
 }  // namespace agc::runtime

@@ -2,6 +2,21 @@
 
 namespace agc::runtime {
 
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::Ram: return "ram";
+    case FaultKind::AddEdge: return "add_edge";
+    case FaultKind::RemoveEdge: return "remove_edge";
+    case FaultKind::ResetVertex: return "reset_vertex";
+    case FaultKind::AddVertex: return "add_vertex";
+    case FaultKind::Drop: return "drop";
+    case FaultKind::Corrupt: return "corrupt";
+    case FaultKind::Duplicate: return "duplicate";
+    case FaultKind::Delay: return "delay";
+  }
+  return "?";
+}
+
 void Adversary::corrupt_random(Engine& engine, std::size_t count,
                                std::uint64_t value_range, std::size_t word) {
   const std::size_t n = engine.graph().n();
@@ -78,12 +93,21 @@ void Adversary::churn_vertices(Engine& engine, std::size_t count, std::size_t re
       if (engine.graph().degree(u) >= dmax || engine.graph().degree(v) >= dmax) {
         continue;
       }
-      if (engine.add_edge(u, v)) ++added;
+      // Reconnect edges are adversarial topology changes like any other, so
+      // they count as events — RunReport::fault_events stays equal to
+      // events() however a report is rolled up.
+      if (engine.add_edge(u, v)) {
+        ++added;
+        ++events_;
+      }
     }
   }
 }
 
 std::size_t PeriodicAdversary::inject(Engine& engine, std::size_t round) {
+  // Round 0 is the initial configuration — the adversary only acts between
+  // executed rounds, so a period that divides 0 must not fire before round 1.
+  if (round == 0) return 0;
   if (schedule_.period == 0 || round > schedule_.last_round) return 0;
   if (round % schedule_.period != 0) return 0;
   const std::size_t before = adversary_.events();

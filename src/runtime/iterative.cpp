@@ -63,6 +63,7 @@ IterativeResult run_locally_iterative(const graph::Graph& g,
 
   Engine engine(g, Transport(opts.model, opts.congest_bits));
   if (opts.executor) engine.set_executor(opts.executor);
+  if (opts.channel != nullptr) engine.set_channel(opts.channel);
 
   obs::PhaseProfile profile;
   obs::PhaseStats* extra = nullptr;
@@ -105,9 +106,29 @@ IterativeResult run_locally_iterative(const graph::Graph& g,
                        [&](Color c) { return rule.is_final(c); });
   };
 
+  std::uint64_t channel_seen =
+      opts.channel != nullptr ? opts.channel->events() : 0;
+
   while (!all_final() && result.rounds < opts.max_rounds) {
     engine.step();
     ++result.rounds;
+    if (opts.channel != nullptr) {
+      // Channel faults mutate messages, not RAM, so no mirror resync is
+      // needed — the programs already consumed the faulted words.
+      const std::uint64_t now = opts.channel->events();
+      if (now > channel_seen) {
+        result.fault_events += now - channel_seen;
+        if (opts.sink != nullptr) {
+          obs::Event ev;
+          ev.kind = obs::EventKind::Fault;
+          ev.round = result.rounds;
+          ev.label = opts.channel->name();
+          ev.value = now - channel_seen;
+          opts.sink->emit(ev);
+        }
+        channel_seen = now;
+      }
+    }
     if (opts.adversary != nullptr) {
       std::size_t injected = 0;
       {

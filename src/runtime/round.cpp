@@ -21,7 +21,7 @@ RoundContext::RoundContext(const graph::Graph& graph, const Transport& transport
                            std::vector<std::unique_ptr<VertexProgram>>& programs,
                            std::vector<VertexEnv>& envs, EdgeBitLedger& ledger,
                            MailboxArena& arena, std::uint64_t round,
-                           obs::PhaseProfile* profile)
+                           obs::PhaseProfile* profile, ChannelHook* channel)
     : graph_(graph),
       transport_(transport),
       opts_(opts),
@@ -30,19 +30,30 @@ RoundContext::RoundContext(const graph::Graph& graph, const Transport& transport
       ledger_(ledger),
       arena_(arena),
       round_(round),
-      profile_(profile) {}
+      profile_(profile),
+      channel_(channel) {}
 
 void RoundContext::send(graph::Vertex begin, graph::Vertex end,
                         std::size_t shard) {
   obs::ScopedPhaseTimer timer(
       profile_ != nullptr ? profile_->shard(shard) : nullptr, obs::Phase::Send);
   arena_.begin_shard(shard);
+  if (channel_ != nullptr) {
+    // Worst case a hook adds one word per port (duplicate, or a delayed word
+    // prepended to a full inline slot), relocating the port into a cap-2 lane
+    // run.  Pre-sizing the lane to 2 words per owned port keeps the hook's
+    // in-phase pushes allocation-free for bounded models.
+    arena_.reserve_lane(shard, 2 * std::size_t{arena_.base(end) - arena_.base(begin)});
+  }
   for (graph::Vertex v = begin; v < end; ++v) {
     arena_.reset_ports(v);
     refresh_vertex_env(graph_, opts_, round_, v, envs_[v]);
     OutboxRef out = arena_.outbox(v, shard);
     programs_[v]->on_send(envs_[v], out);
     transport_.validate(out);
+    if (channel_ != nullptr) {
+      channel_->apply(arena_, graph_, v, round_, shard);
+    }
   }
 }
 

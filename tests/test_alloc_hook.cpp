@@ -16,6 +16,7 @@
 #include <new>
 
 #include "agc/exec/executor.hpp"
+#include "agc/faultlab/channel.hpp"
 #include "agc/graph/generators.hpp"
 #include "agc/obs/event_sink.hpp"
 #include "agc/obs/phase_timer.hpp"
@@ -112,6 +113,39 @@ TEST(AllocHook, ObservabilityOnStaysAllocationFree) {
   // And the instrumentation actually observed the rounds.
   EXPECT_GT(profile.folded().total_ns(), 0u);
   EXPECT_EQ(sink.seen(), 11u);  // one RoundEnd per step
+}
+
+TEST(AllocHook, ChannelAdversaryStaysAllocationFree) {
+  // The wire attacker mutates ports in place; drops and corruptions touch
+  // existing words, duplicates land in the pre-reserved spill lanes
+  // (RoundContext doubles the lane reservation when a channel hook is
+  // attached), and the delay stash is bound once per topology.  With all four
+  // fault kinds firing at high rates AND full observability attached, the
+  // steady-state round loop still performs zero allocations — as long as no
+  // plan recorder is installed, recording being the only allocating path.
+  const auto g = graph::random_regular(256, 8, 5);
+  Engine engine(g, Transport(Model::SET_LOCAL));
+  engine.set_executor(exec::make_executor(2));
+  obs::PhaseProfile profile;
+  obs::RingSink sink(64);
+  engine.set_profile(&profile);
+  engine.set_sink(&sink);
+  engine.install(
+      [](const VertexEnv&) { return std::make_unique<ParityProgram>(); });
+  faultlab::ChannelFaultConfig cfg;
+  cfg.seed = 3;
+  cfg.drop_per_million = 100'000;
+  cfg.corrupt_per_million = 100'000;
+  cfg.duplicate_per_million = 100'000;
+  cfg.delay_per_million = 100'000;
+  faultlab::ChannelAdversary chan(cfg);
+  engine.set_channel(&chan);
+  for (int i = 0; i < 4; ++i) engine.step();  // warm arena, lanes, stash
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 8; ++i) engine.step();
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed) - before, 0u);
+  EXPECT_GT(chan.events(), 0u);  // the adversary really was firing
 }
 
 TEST(AllocHook, LocalModelSpillPathReachesSteadyState) {

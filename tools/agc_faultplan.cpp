@@ -1,0 +1,326 @@
+// agc-faultplan: the fault-plan toolbox the fault-fuzz CI jobs drive.
+//
+//   agc-faultplan dump   plan.jsonl
+//       Print the plan as a table plus per-kind counts.
+//   agc-faultplan diff   a.jsonl b.jsonl
+//       Compare two plans event-by-event; exit 1 on the first divergence.
+//   agc-faultplan shrink plan.jsonl out.jsonl --graph <spec> [--predicate
+//       breaks|unstable] [--budget N] [--max-probes N]
+//       ddmin the plan down to a 1-minimal reproducer of the chosen failure
+//       predicate (replayed on the self-stabilizing coloring over --graph).
+//   agc-faultplan fuzz --graph <spec> --seed S [--rounds N] [--budget N]
+//       [--drop P] [--corrupt P] [--dup P] [--delay P] [--period K]
+//       [--last-round R] [--ram-corrupt C] [--clones C] [--out plan.jsonl]
+//       [--shrink]
+//       One seeded campaign run of ss_coloring under the channel adversary +
+//       periodic RAM/topology adversary, recording every injected fault.
+//       Exit 0 when the run restabilizes; exit 1 (after writing --out, shrunk
+//       when --shrink is given) when it does not — CI uploads the plan.
+//
+// Probabilities P are per-edge-per-round, given as floats in [0,1] and
+// converted to the parts-per-million grid the adversary uses.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "agc/exec/executor.hpp"
+#include "agc/faultlab/channel.hpp"
+#include "agc/faultlab/harness.hpp"
+#include "agc/faultlab/plan.hpp"
+#include "agc/faultlab/shrink.hpp"
+#include "agc/graph/generators.hpp"
+#include "agc/graph/io.hpp"
+#include "agc/runtime/faults.hpp"
+#include "agc/selfstab/ss_coloring.hpp"
+
+namespace {
+
+using namespace agc;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: agc-faultplan <dump|diff|shrink|fuzz> [args] "
+               "[--options]\nsee the header of tools/agc_faultplan.cpp for "
+               "details\n");
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, sep)) out.push_back(tok);
+  return out;
+}
+
+graph::Graph make_graph(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) usage("graph spec needs kind:args");
+  const std::string kind = spec.substr(0, colon);
+  const auto args = split(spec.substr(colon + 1), ',');
+  auto num = [&](std::size_t i) -> std::uint64_t {
+    if (i >= args.size()) usage("missing graph argument");
+    return std::strtoull(args[i].c_str(), nullptr, 10);
+  };
+  auto real = [&](std::size_t i) -> double {
+    if (i >= args.size()) usage("missing graph argument");
+    return std::strtod(args[i].c_str(), nullptr);
+  };
+  if (kind == "file") return graph::read_edge_list_file(spec.substr(colon + 1));
+  if (kind == "gnp") return graph::random_gnp(num(0), real(1), num(2));
+  if (kind == "regular") return graph::random_regular(num(0), num(1), num(2));
+  if (kind == "grid") return graph::grid(num(0), num(1));
+  if (kind == "cycle") return graph::cycle(num(0));
+  if (kind == "path") return graph::path(num(0));
+  usage("unknown graph kind");
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> kv;
+  bool has(const std::string& k) const { return kv.count(k) != 0; }
+  std::string get(const std::string& k, const std::string& dflt = "") const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  std::uint64_t num(const std::string& k, std::uint64_t dflt) const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  std::uint32_t ppm(const std::string& k) const {
+    const auto it = kv.find(k);
+    if (it == kv.end()) return 0;
+    const double p = std::strtod(it->second.c_str(), nullptr);
+    if (p < 0.0 || p > 1.0) usage("probabilities must be in [0,1]");
+    return static_cast<std::uint32_t>(p * 1'000'000.0);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      a.positional.push_back(key);
+      continue;
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      a.kv[key] = argv[++i];
+    } else {
+      a.kv[key] = "1";
+    }
+  }
+  return a;
+}
+
+int cmd_dump(const Args& a) {
+  if (a.positional.size() != 1) usage("dump takes one plan file");
+  const auto plan = faultlab::FaultPlan::load(a.positional[0]);
+  std::map<std::string, std::size_t> counts;
+  std::printf("%8s  %-12s %6s %6s %5s  %s\n", "round", "kind", "u", "v",
+              "word", "value");
+  for (const auto& ev : plan.events) {
+    std::printf("%8llu  %-12s %6u %6u %5u  %llu\n",
+                static_cast<unsigned long long>(ev.round),
+                runtime::to_string(ev.kind), ev.u, ev.v, ev.word,
+                static_cast<unsigned long long>(ev.value));
+    ++counts[runtime::to_string(ev.kind)];
+  }
+  std::printf("-- %zu events", plan.size());
+  for (const auto& [k, c] : counts) std::printf("  %s=%zu", k.c_str(), c);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_diff(const Args& a) {
+  if (a.positional.size() != 2) usage("diff takes two plan files");
+  const auto lhs = faultlab::FaultPlan::load(a.positional[0]);
+  const auto rhs = faultlab::FaultPlan::load(a.positional[1]);
+  const std::size_t common = std::min(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (!(lhs.events[i] == rhs.events[i])) {
+      std::printf("plans diverge at event %zu:\n  a: round=%llu kind=%s u=%u "
+                  "v=%u word=%u value=%llu\n  b: round=%llu kind=%s u=%u v=%u "
+                  "word=%u value=%llu\n",
+                  i, static_cast<unsigned long long>(lhs.events[i].round),
+                  runtime::to_string(lhs.events[i].kind), lhs.events[i].u,
+                  lhs.events[i].v, lhs.events[i].word,
+                  static_cast<unsigned long long>(lhs.events[i].value),
+                  static_cast<unsigned long long>(rhs.events[i].round),
+                  runtime::to_string(rhs.events[i].kind), rhs.events[i].u,
+                  rhs.events[i].v, rhs.events[i].word,
+                  static_cast<unsigned long long>(rhs.events[i].value));
+      return 1;
+    }
+  }
+  if (lhs.size() != rhs.size()) {
+    std::printf("plans differ in length: %zu vs %zu events\n", lhs.size(),
+                rhs.size());
+    return 1;
+  }
+  std::printf("plans identical (%zu events)\n", lhs.size());
+  return 0;
+}
+
+/// Replay `plan` on a fresh ss_coloring engine over `g`.
+/// predicate "breaks":   true iff the coloring becomes illegal at any round.
+/// predicate "unstable": true iff the run does not restabilize in `budget`.
+bool replay_fails(const graph::Graph& g, const selfstab::SsConfig& cfg,
+                  const faultlab::FaultPlan& plan, const std::string& predicate,
+                  std::size_t budget) {
+  runtime::EngineOptions eo;
+  eo.delta_bound = g.max_degree() + 2;
+  runtime::Engine engine(g, runtime::Transport(runtime::Model::LOCAL), eo);
+  engine.install(selfstab::ss_coloring_factory(cfg));
+  runtime::RunOptions settle;
+  settle.max_rounds = budget;
+  if (!selfstab::run_until_stable(engine, cfg, settle).stabilized) return false;
+
+  faultlab::PlanAdversary adv(plan);
+  faultlab::ChannelPlayback chan(plan.events);
+  if (predicate == "unstable") {
+    runtime::RunOptions opts;
+    opts.adversary = &adv;
+    opts.channel = &chan;
+    opts.max_rounds = budget;
+    return !selfstab::run_until_stable(engine, cfg, opts).stabilized;
+  }
+  engine.set_channel(&chan);
+  const auto check = faultlab::coloring_check(cfg);
+  bool broke = false;
+  const std::size_t horizon =
+      static_cast<std::size_t>(adv.last_event_round()) + 4;
+  for (std::size_t r = 0; r < horizon; ++r) {
+    engine.step();
+    adv.inject(engine, r + 1);
+    if (check(engine)) {
+      broke = true;
+      break;
+    }
+  }
+  engine.set_channel(nullptr);
+  return broke;
+}
+
+int cmd_shrink(const Args& a) {
+  if (a.positional.size() != 2) usage("shrink takes <in.jsonl> <out.jsonl>");
+  if (!a.has("graph")) usage("shrink needs --graph (the replay substrate)");
+  const auto plan = faultlab::FaultPlan::load(a.positional[0]);
+  const auto g = make_graph(a.get("graph"));
+  const selfstab::SsConfig cfg(g.n(), g.max_degree(),
+                               selfstab::PaletteMode::ODelta);
+  const std::string predicate = a.get("predicate", "breaks");
+  const std::size_t budget = a.num("budget", 5000);
+  auto reproduces = [&](const faultlab::FaultPlan& candidate) {
+    return replay_fails(g, cfg, candidate, predicate, budget);
+  };
+  if (!reproduces(plan)) {
+    std::fprintf(stderr, "input plan does not reproduce predicate '%s'\n",
+                 predicate.c_str());
+    return 1;
+  }
+  faultlab::ShrinkStats stats;
+  const auto small = faultlab::shrink_plan(plan, reproduces, &stats,
+                                           a.num("max-probes", 0));
+  small.save(a.positional[1]);
+  std::printf("shrunk %zu -> %zu events in %zu probes\n", stats.initial_events,
+              stats.final_events, stats.probes);
+  return 0;
+}
+
+int cmd_fuzz(const Args& a) {
+  if (!a.has("graph")) usage("fuzz needs --graph");
+  const auto g = make_graph(a.get("graph"));
+  const std::uint64_t seed = a.num("seed", 1);
+  const selfstab::SsConfig cfg(g.n(), g.max_degree(),
+                               selfstab::PaletteMode::ODelta);
+  runtime::EngineOptions eo;
+  eo.delta_bound = g.max_degree() + 2;
+  runtime::Engine engine(g, runtime::Transport(runtime::Model::LOCAL), eo);
+  if (a.has("threads")) {
+    engine.set_executor(exec::make_executor(a.num("threads", 1)));
+  }
+  engine.install(selfstab::ss_coloring_factory(cfg));
+
+  faultlab::FaultPlanRecorder rec;
+  engine.set_fault_recorder(&rec);
+  faultlab::ChannelFaultConfig ccfg;
+  ccfg.seed = seed;
+  ccfg.drop_per_million = a.ppm("drop");
+  ccfg.corrupt_per_million = a.ppm("corrupt");
+  ccfg.duplicate_per_million = a.ppm("dup");
+  ccfg.delay_per_million = a.ppm("delay");
+  ccfg.first_round = 1;
+  ccfg.last_round = a.num("last-round", 24);
+  if (ccfg.total_per_million() > 1'000'000) {
+    usage("fault probabilities sum above 1");
+  }
+  faultlab::ChannelAdversary chan(ccfg, &rec);
+  runtime::PeriodicAdversary adv(
+      seed * 2 + 1,
+      {.period = a.num("period", 4),
+       .last_round = a.num("last-round", 24),
+       .corrupt = a.num("ram-corrupt", 2),
+       .clones = a.num("clones", 1),
+       .edge_adds = a.num("edge-adds", 0),
+       .edge_removes = a.num("edge-removes", 0),
+       .dmax = g.max_degree() + 2});
+
+  runtime::RunOptions opts;
+  opts.adversary = &adv;
+  opts.channel = &chan;
+  opts.max_rounds = a.num("rounds", 8000);
+  const auto rep = selfstab::run_until_stable(engine, cfg, opts);
+  engine.set_fault_recorder(nullptr);
+  faultlab::FaultPlan plan = rec.take();
+
+  std::printf("seed=%llu events=%zu rounds=%zu stabilized=%d "
+              "rounds_to_stable=%zu\n",
+              static_cast<unsigned long long>(seed), plan.size(), rep.rounds,
+              rep.stabilized ? 1 : 0, rep.rounds_to_stable);
+  if (rep.stabilized) {
+    if (a.has("out")) plan.save(a.get("out"));
+    return 0;
+  }
+
+  // Failing campaign run: shrink (optionally) and persist the reproducer.
+  if (a.has("shrink") && !plan.empty()) {
+    const std::size_t budget = a.num("rounds", 8000);
+    auto reproduces = [&](const faultlab::FaultPlan& candidate) {
+      return replay_fails(g, cfg, candidate, "unstable", budget);
+    };
+    if (reproduces(plan)) {
+      faultlab::ShrinkStats stats;
+      plan = faultlab::shrink_plan(plan, reproduces, &stats,
+                                   a.num("max-probes", 2000));
+      std::printf("shrunk %zu -> %zu events in %zu probes\n",
+                  stats.initial_events, stats.final_events, stats.probes);
+    }
+  }
+  if (a.has("out")) plan.save(a.get("out"));
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Args a = parse(argc, argv);
+  try {
+    if (cmd == "dump") return cmd_dump(a);
+    if (cmd == "diff") return cmd_diff(a);
+    if (cmd == "shrink") return cmd_shrink(a);
+    if (cmd == "fuzz") return cmd_fuzz(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  usage("unknown command");
+}

@@ -8,6 +8,15 @@
 //   agccli match    --graph <spec>
 //   agccli selfstab --graph <spec> [--exact] [--faults <k>] [--epochs <e>]
 //
+// Fault injection (selfstab; see docs/FAULTS.md):
+//   --chan-drop P / --chan-corrupt P / --chan-dup P / --chan-delay P
+//                  per-edge-per-round wire-fault probabilities in [0,1]
+//   --chan-seed S / --chan-last R   channel adversary seed / last active round
+//   --fault-plan FILE   record every injected fault to FILE (JSONL), or, with
+//   --replay            replay FILE instead of injecting fresh faults
+//   Any of these switches the command to the stabilization harness, which
+//   prints recovery time and adjustment radius instead of epoch lines.
+//
 // --threads N (or AGC_THREADS) runs the round engine on the exec subsystem's
 // N-thread backend (N=0: all hardware threads); results are bit-identical to
 // the sequential engine by the shard-determinism contract (docs/EXEC.md).
@@ -40,6 +49,9 @@
 #include "agc/coloring/symmetry.hpp"
 #include "agc/edge/edge_coloring.hpp"
 #include "agc/exec/executor.hpp"
+#include "agc/faultlab/channel.hpp"
+#include "agc/faultlab/harness.hpp"
+#include "agc/faultlab/plan.hpp"
 #include "agc/graph/generators.hpp"
 #include "agc/graph/io.hpp"
 #include "agc/runtime/faults.hpp"
@@ -148,7 +160,7 @@ Args parse(int argc, char** argv) {
     key = key.substr(2);
     // Flags without values.
     if (key == "bit-round" || key == "no-exact" || key == "exact" ||
-        key == "phases") {
+        key == "phases" || key == "replay") {
       a.kv[key] = "1";
       continue;
     }
@@ -290,6 +302,107 @@ int cmd_match(const Args& a) {
   return rep.valid ? 0 : 1;
 }
 
+/// Per-million probability from a [0,1] float flag.
+std::uint32_t ppm_flag(const Args& a, const std::string& key) {
+  if (!a.has(key)) return 0;
+  const double p = std::strtod(a.get(key).c_str(), nullptr);
+  if (p < 0.0 || p > 1.0) usage("probabilities must be in [0,1]");
+  return static_cast<std::uint32_t>(p * 1'000'000.0);
+}
+
+/// The faultlab path of `agccli selfstab`: run the stabilization harness
+/// under a channel adversary and/or a recorded plan, print recovery time and
+/// adjustment radius.  Active when any --chan-* / --fault-plan / --replay
+/// flag is given.
+int selfstab_faultlab(const Args& a, const graph::Graph& g,
+                      const selfstab::SsConfig& cfg, runtime::Engine& engine) {
+  ObsFlags ob(a);
+  runtime::RunOptions ro;
+  ro.max_rounds = 1000000;
+  ob.apply(ro);
+  faultlab::StabilizationSpec spec;
+  spec.check = faultlab::coloring_check(cfg);
+  spec.outputs = faultlab::coloring_outputs();
+  spec.recovery_budget =
+      std::strtoull(a.get("budget", "100000").c_str(), nullptr, 10);
+
+  // Hook storage must outlive run_stabilization; only one arm is used.
+  std::unique_ptr<faultlab::PlanAdversary> plan_adv;
+  std::unique_ptr<faultlab::ChannelPlayback> playback;
+  std::unique_ptr<runtime::PeriodicAdversary> periodic;
+  std::unique_ptr<faultlab::ChannelAdversary> channel;
+  faultlab::FaultPlanRecorder recorder;
+  faultlab::FaultPlan plan;
+
+  if (a.has("replay")) {
+    if (!a.has("fault-plan")) usage("--replay needs --fault-plan FILE");
+    plan = faultlab::FaultPlan::load(a.get("fault-plan"));
+    plan_adv = std::make_unique<faultlab::PlanAdversary>(plan);
+    playback = std::make_unique<faultlab::ChannelPlayback>(plan.events);
+    ro.adversary = plan_adv.get();
+    ro.channel = playback.get();
+    std::printf("replaying %zu recorded fault events from %s\n", plan.size(),
+                a.get("fault-plan").c_str());
+  } else {
+    const bool record = a.has("fault-plan");
+    if (record) engine.set_fault_recorder(&recorder);
+    faultlab::ChannelFaultConfig ccfg;
+    ccfg.seed = std::strtoull(a.get("chan-seed", "1").c_str(), nullptr, 10);
+    ccfg.drop_per_million = ppm_flag(a, "chan-drop");
+    ccfg.corrupt_per_million = ppm_flag(a, "chan-corrupt");
+    ccfg.duplicate_per_million = ppm_flag(a, "chan-dup");
+    ccfg.delay_per_million = ppm_flag(a, "chan-delay");
+    ccfg.last_round = std::strtoull(a.get("chan-last", "64").c_str(), nullptr, 10);
+    if (ccfg.total_per_million() > 1'000'000) {
+      usage("channel fault probabilities sum above 1");
+    }
+    if (ccfg.total_per_million() > 0) {
+      channel = std::make_unique<faultlab::ChannelAdversary>(
+          ccfg, record ? &recorder : nullptr);
+      ro.channel = channel.get();
+    }
+    const auto faults = std::strtoull(a.get("faults", "16").c_str(), nullptr, 10);
+    if (faults > 0) {
+      periodic = std::make_unique<runtime::PeriodicAdversary>(
+          std::strtoull(a.get("seed", "1").c_str(), nullptr, 10),
+          runtime::PeriodicAdversary::Schedule{
+              .period = 4,
+              .last_round = 16,
+              .corrupt = static_cast<std::size_t>(faults),
+              .clones = static_cast<std::size_t>(faults / 2 + 1)});
+      ro.adversary = periodic.get();
+    }
+  }
+
+  const auto rep = faultlab::run_stabilization(engine, ro, spec);
+  engine.set_fault_recorder(nullptr);
+  if (a.has("fault-plan") && !a.has("replay")) {
+    plan = recorder.take();
+    plan.save(a.get("fault-plan"));
+    std::printf("recorded %zu fault events to %s\n", plan.size(),
+                a.get("fault-plan").c_str());
+  }
+
+  std::printf("faults=%llu last_fault_round=%llu\n",
+              static_cast<unsigned long long>(rep.fault_events),
+              static_cast<unsigned long long>(rep.last_fault_round));
+  if (rep.recovered) {
+    std::printf("recovered in %zu rounds (first legal round %llu); "
+                "adjustment radius: %zu vertex(es) changed output\n",
+                rep.recovery_rounds,
+                static_cast<unsigned long long>(rep.first_legal_round),
+                rep.adjusted.size());
+  } else {
+    std::printf("NOT RECOVERED: %s at round %llu (u=%u v=%u value=%llu)\n",
+                faultlab::to_string(rep.violation.kind),
+                static_cast<unsigned long long>(rep.violation.round),
+                rep.violation.u, rep.violation.v,
+                static_cast<unsigned long long>(rep.violation.value));
+  }
+  ob.report(rep);
+  return rep.recovered ? 0 : 1;
+}
+
 int cmd_selfstab(const Args& a) {
   const auto g = make_graph(a.get("graph"));
   const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
@@ -301,6 +414,11 @@ int cmd_selfstab(const Args& a) {
   runtime::Engine engine(g, runtime::Transport(runtime::Model::LOCAL), eo);
   engine.set_executor(a.executor());
   engine.install(selfstab::ss_coloring_factory(cfg));
+
+  if (a.has("chan-drop") || a.has("chan-corrupt") || a.has("chan-dup") ||
+      a.has("chan-delay") || a.has("fault-plan") || a.has("replay")) {
+    return selfstab_faultlab(a, g, cfg, engine);
+  }
 
   const auto faults = std::strtoull(a.get("faults", "16").c_str(), nullptr, 10);
   const auto epochs = std::strtoull(a.get("epochs", "3").c_str(), nullptr, 10);
