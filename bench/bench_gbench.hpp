@@ -49,7 +49,7 @@ class JsonRowReporter : public benchmark::ConsoleReporter {
       const double iters = run.iterations > 0
                                ? static_cast<double>(run.iterations)
                                : 1.0;
-      auto& row = json_.row();
+      auto& row = json_.row();  // row() tags "threads" for structural keying
       row.kv("name", run.benchmark_name())
           .kv("iterations", static_cast<std::uint64_t>(run.iterations))
           .kv("real_time_per_iter_s", run.real_accumulated_time / iters)

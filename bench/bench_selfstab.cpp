@@ -13,7 +13,9 @@
 
 #include "agc/graph/checks.hpp"
 #include "agc/graph/generators.hpp"
+#include "agc/graph/spec.hpp"
 #include "agc/runtime/faults.hpp"
+#include "agc/sched/campaign.hpp"
 #include "agc/selfstab/ss_coloring.hpp"
 #include "agc/selfstab/ss_line.hpp"
 #include "agc/selfstab/ss_mis.hpp"
@@ -170,6 +172,68 @@ void line_graph_tasks() {
   t.print();
 }
 
+double value_of(const sched::JobResult& r, const std::string& key) {
+  for (const auto& [k, v] : r.values) {
+    if (k == key) return v;
+  }
+  return 0.0;
+}
+
+/// The EXPERIMENTS.md stabilization sweep as a scheduler campaign: one
+/// ss-color job per (Delta, n) cell under a seeded lossy channel plus the
+/// periodic RAM/clone adversary, executed by run_campaign with watchdog
+/// retries.  The aggregate is scheduling-independent (bit-identical JSONL
+/// for any worker count), so the table below is reproducible byte for byte.
+void stabilization_campaign(std::size_t threads) {
+  std::printf("-- E2d: Delta x n stabilization sweep as a campaign "
+              "(ss-color, 2%% channel drop + periodic RAM faults, "
+              "%zu workers) --\n\n", threads);
+  sched::Campaign c;
+  for (const std::size_t n : {300, 600}) {
+    for (const std::size_t delta : {4, 8, 16}) {
+      sched::JobSpec job;
+      job.algorithm = "ss-color";
+      job.graph = graph::GraphSpec::parse(
+          "regular:n=" + std::to_string(n) + ",d=" + std::to_string(delta) +
+          ",seed=" + std::to_string(7 * delta + n));
+      job.seed = delta + n;
+      job.faults.channel.drop_per_million = 20'000;
+      job.faults.channel.first_round = 1;
+      job.faults.channel.last_round = 24;
+      job.faults.periodic = {.period = 6,
+                             .last_round = 24,
+                             .corrupt = 2,
+                             .clones = 1,
+                             .dmax = delta + 2};
+      job.faults.recovery_budget = 20'000;
+      c.add(std::move(job));
+    }
+  }
+
+  sched::ScheduleOptions so;
+  so.threads = threads;
+  so.max_attempts = 2;  // one watchdog retry with a re-rolled fault seed
+  const auto report = sched::run_campaign(c, so);
+
+  benchutil::Table t({"n", "Delta", "recovery rounds", "adjusted", "faults",
+                      "attempts", "stabilized"});
+  for (const auto& job : report.jobs) {
+    const auto spec = graph::GraphSpec::parse(job.graph);
+    t.add_row({benchutil::num(std::uint64_t{spec.num("n")}),
+               benchutil::num(std::uint64_t{spec.num("d")}),
+               benchutil::num(std::uint64_t(value_of(job, "recovery_rounds"))),
+               benchutil::num(std::uint64_t(value_of(job, "adjusted"))),
+               benchutil::num(std::uint64_t{job.fault_events}),
+               benchutil::num(std::uint64_t{job.attempts}),
+               job.ok ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf("E2d campaign: %zu jobs, %zu graph builds, %zu cache hits, "
+              "%zu retries, all ok: %s\n\n",
+              report.jobs.size(), report.cache_misses, report.cache_hits,
+              report.retries, report.all_ok() ? "yes" : "NO");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,5 +248,6 @@ int main(int argc, char** argv) {
   delta_sweep();
   adjustment_radius();
   line_graph_tasks();
+  stabilization_campaign(opts.threads);
   return 0;
 }

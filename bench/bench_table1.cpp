@@ -11,42 +11,55 @@
 // Delta*log(Delta), both AG columns grow linearly; every run ends at exactly
 // Delta+1 colors with every intermediate coloring proper.
 //
-// Flags: --threads N runs the vertex programs on the exec subsystem's
-// N-thread backend (results are bit-identical to sequential; when N > 1 the
-// sweep is also rerun on 1 thread to report the wall-clock speedup), and
-// --json FILE emits the per-row rounds/messages/bits + wall time.
+// The T1 sweep runs through the campaign scheduler (src/sched): one job per
+// (algorithm, Delta) cell, all four algorithm columns of a row sharing one
+// cached graph build.  --threads N gives the scheduler N workers (per-cell
+// results are bit-identical to the 1-thread run — checked live when N > 1,
+// along with the wall-clock speedup); --json FILE emits the per-row
+// rounds/messages/bits + wall time tagged with the GraphSpec string.
 
 #include <cstdio>
+#include <string>
 
 #include "agc/coloring/ag.hpp"
 #include "agc/coloring/ag3.hpp"
 #include "agc/coloring/kuhn_wattenhofer.hpp"
-#include "agc/coloring/pipeline.hpp"
 #include "agc/coloring/reduction.hpp"
 #include "agc/graph/generators.hpp"
+#include "agc/graph/spec.hpp"
+#include "agc/sched/campaign.hpp"
 #include "bench_util.hpp"
 
 namespace {
 
 using namespace agc;
 
-struct RowResult {
-  coloring::PipelineReport gps, kw, ag, ex;
-  double wall_s = 0;
-};
+constexpr std::size_t kDeltas[] = {4, 8, 16, 32, 64, 96, 128};
+constexpr const char* kAlgos[] = {"gps", "kw", "ag", "exact"};
 
-RowResult run_row(const graph::Graph& g,
-                  const std::shared_ptr<runtime::RoundExecutor>& executor) {
-  coloring::PipelineOptions opts;
-  opts.iter.executor = executor;
-  RowResult r;
-  benchutil::WallClock clock;
-  r.gps = coloring::color_linial_greedy(g, opts);
-  r.kw = coloring::color_kuhn_wattenhofer(g, opts);
-  r.ag = coloring::color_delta_plus_one(g, opts);
-  r.ex = coloring::color_delta_plus_one_exact(g, opts);
-  r.wall_s = clock.seconds();
-  return r;
+/// The T1 grid: 4 algorithm columns x 7 Delta rows, row-major, so the job
+/// for (delta index di, algorithm index ai) is campaign job 4*di + ai.
+sched::Campaign make_t1_campaign() {
+  sched::Campaign c;
+  for (const std::size_t delta : kDeltas) {
+    const auto spec = graph::GraphSpec::parse(
+        "regular:n=1500,d=" + std::to_string(delta) +
+        ",seed=" + std::to_string(1234 + delta));
+    for (const char* algo : kAlgos) {
+      sched::JobSpec job;
+      job.algorithm = algo;
+      job.graph = spec;
+      c.add(std::move(job));
+    }
+  }
+  return c;
+}
+
+double value_of(const sched::JobResult& r, const std::string& key) {
+  for (const auto& [k, v] : r.values) {
+    if (k == key) return v;
+  }
+  return 0.0;
 }
 
 }  // namespace
@@ -54,75 +67,85 @@ RowResult run_row(const graph::Graph& g,
 int main(int argc, char** argv) {
   using namespace agc;
   const auto opts = benchutil::parse_options(argc, argv);
-  const auto executor = opts.executor();
   std::printf("== T1: locally-iterative (Delta+1)-coloring round counts "
-              "(random Delta-regular, n=1500, threads=%zu) ==\n\n",
+              "(random Delta-regular, n=1500, campaign on %zu threads) ==\n\n",
               opts.threads);
+
+  const auto campaign = make_t1_campaign();
+  sched::ScheduleOptions sopts;
+  sopts.threads = opts.threads;
+  benchutil::WallClock clock;
+  const auto report = sched::run_campaign(campaign, sopts);
+  const double wall_total = clock.seconds();
+
+  // Sequential baseline when parallel: wall-clock speedup plus a live
+  // determinism check — the aggregate JSONL must match bit for bit.
+  double wall_seq_total = 0;
+  if (opts.threads > 1) {
+    sched::ScheduleOptions seq = sopts;
+    seq.threads = 1;
+    benchutil::WallClock seq_clock;
+    const auto seq_report = sched::run_campaign(campaign, seq);
+    wall_seq_total = seq_clock.seconds();
+    if (seq_report.to_jsonl() != report.to_jsonl()) {
+      std::printf("DETERMINISM VIOLATION: campaign aggregates differ between "
+                  "%zu threads and 1 thread\n", opts.threads);
+      return 1;
+    }
+  }
 
   benchutil::Table table({"Delta", "GPS O(D^2)", "KW O(D logD)", "AG (ours)",
                           "AG exact (ours)", "palette", "all proper/rnd",
-                          "wall s", "speedup"});
+                          "wall s"});
   benchutil::JsonEmitter json("table1", opts.threads);
-  double wall_total = 0, wall_seq_total = 0;
 
-  for (std::size_t delta : {4, 8, 16, 32, 64, 96, 128}) {
-    const auto g = graph::random_regular(1500, delta, 1234 + delta);
-    const RowResult r = run_row(g, executor);
-    wall_total += r.wall_s;
-
-    // Sequential baseline for the speedup column (and a live determinism
-    // check: the parallel run must match it bit for bit).
-    double speedup = 1.0;
-    std::string speedup_cell = "-";
-    if (opts.threads > 1) {
-      const RowResult seq = run_row(g, nullptr);
-      wall_seq_total += seq.wall_s;
-      speedup = r.wall_s > 0 ? seq.wall_s / r.wall_s : 0.0;
-      speedup_cell = benchutil::num(speedup) + "x";
-      if (seq.ag.colors != r.ag.colors ||
-          seq.ag.rounds != r.ag.rounds ||
-          seq.ag.metrics.total_bits != r.ag.metrics.total_bits) {
-        std::printf("DETERMINISM VIOLATION at Delta=%zu\n", delta);
-        return 1;
-      }
-    }
-
-    const bool ok = r.gps.converged && r.kw.converged && r.ag.converged &&
-                    r.ex.converged && r.gps.proper && r.kw.proper &&
-                    r.ag.proper && r.ex.proper;
-    const bool li = r.gps.proper_each_round && r.kw.proper_each_round &&
-                    r.ag.proper_each_round && r.ex.proper_each_round;
-    table.add_row({benchutil::num(std::uint64_t{delta}),
-                   benchutil::num(std::uint64_t{r.gps.rounds}),
-                   benchutil::num(std::uint64_t{r.kw.rounds}),
-                   benchutil::num(std::uint64_t{r.ag.rounds}),
-                   benchutil::num(std::uint64_t{r.ex.rounds}),
-                   benchutil::num(std::uint64_t{r.ag.palette}),
-                   ok && li ? "yes" : "NO", benchutil::num(r.wall_s),
-                   speedup_cell});
-    json.row()
-        .kv("delta", std::uint64_t{delta})
-        .kv("rounds_gps", std::uint64_t{r.gps.rounds})
-        .kv("rounds_kw", std::uint64_t{r.kw.rounds})
-        .kv("rounds_ag", std::uint64_t{r.ag.rounds})
-        .kv("rounds_ag_exact", std::uint64_t{r.ex.rounds})
-        .kv("palette", std::uint64_t{r.ag.palette})
-        .kv("messages_ag", r.ag.metrics.messages)
-        .kv("total_bits_ag", r.ag.metrics.total_bits)
-        .kv("max_edge_bits_ag", r.ag.metrics.max_edge_bits)
-        .kv("wall_s", r.wall_s)
-        .kv("speedup_vs_1_thread", speedup)
+  for (std::size_t di = 0; di < std::size(kDeltas); ++di) {
+    const auto& gps = report.jobs[4 * di + 0];
+    const auto& kw = report.jobs[4 * di + 1];
+    const auto& ag = report.jobs[4 * di + 2];
+    const auto& ex = report.jobs[4 * di + 3];
+    const bool ok = gps.ok && kw.ok && ag.ok && ex.ok;
+    const bool li = value_of(gps, "proper_each_round") == 1.0 &&
+                    value_of(kw, "proper_each_round") == 1.0 &&
+                    value_of(ag, "proper_each_round") == 1.0 &&
+                    value_of(ex, "proper_each_round") == 1.0;
+    const double row_wall =
+        static_cast<double>(gps.wall_ns + kw.wall_ns + ag.wall_ns +
+                            ex.wall_ns) / 1e9;
+    table.add_row({benchutil::num(std::uint64_t{kDeltas[di]}),
+                   benchutil::num(std::uint64_t{gps.rounds}),
+                   benchutil::num(std::uint64_t{kw.rounds}),
+                   benchutil::num(std::uint64_t{ag.rounds}),
+                   benchutil::num(std::uint64_t{ex.rounds}),
+                   benchutil::num(std::uint64_t{ag.palette}),
+                   ok && li ? "yes" : "NO", benchutil::num(row_wall)});
+    json.row(ag.graph)
+        .kv("delta", std::uint64_t{kDeltas[di]})
+        .kv("rounds_gps", std::uint64_t{gps.rounds})
+        .kv("rounds_kw", std::uint64_t{kw.rounds})
+        .kv("rounds_ag", std::uint64_t{ag.rounds})
+        .kv("rounds_ag_exact", std::uint64_t{ex.rounds})
+        .kv("palette", std::uint64_t{ag.palette})
+        .kv("messages_ag", ag.metrics.messages)
+        .kv("total_bits_ag", ag.metrics.total_bits)
+        .kv("max_edge_bits_ag", ag.metrics.max_edge_bits)
+        .kv("wall_s", row_wall)
         .kv("ok", std::string(ok && li ? "yes" : "NO"));
   }
   table.print();
 
+  std::printf("T1 campaign: %zu jobs, %zu graph builds shared across %zu "
+              "cache hits, wall %.2fs on %zu threads",
+              report.jobs.size(), report.cache_misses, report.cache_hits,
+              wall_total, opts.threads);
   if (opts.threads > 1) {
-    std::printf("T1 wall: %.2fs on %zu threads vs %.2fs sequential — "
-                "overall speedup %.2fx (results bit-identical)\n\n",
-                wall_total, opts.threads, wall_seq_total,
+    std::printf(" vs %.2fs sequential — speedup %.2fx (aggregates "
+                "bit-identical)",
+                wall_seq_total,
                 wall_total > 0 ? wall_seq_total / wall_total : 0.0);
   }
-  std::printf("Shape check: GPS/AG ratio should grow ~Delta, KW/AG ~log Delta.\n\n");
+  std::printf("\n\nShape check: GPS/AG ratio should grow ~Delta, KW/AG "
+              "~log Delta.\n\n");
 
   // The Szegedy-Vishwanathan setting proper: reduce a SATURATED, adversarially
   // spread O(Delta^2)-coloring to Delta+1 (no Linial phase to flatter anyone;
@@ -134,7 +157,7 @@ int main(int argc, char** argv) {
   benchutil::Table hard({"Delta", "seed colors", "greedy O(D^2)", "KW O(D logD)",
                          "AG+greedy (ours)", "AG exact (ours)", "all ok"});
   runtime::IterativeOptions iter;
-  iter.executor = executor;
+  iter.executor = opts.executor();
   for (std::size_t delta : {8, 16, 32, 64}) {
     const auto g = graph::random_regular(3000, delta, 5 * delta + 1);
     // Hash-spread proper seed over the whole q^2 palette.

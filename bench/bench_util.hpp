@@ -70,6 +70,9 @@ class WallClock {
 
 /// Collects rows of key/value pairs and writes them as a JSON document:
 ///   {"bench": ..., "threads": N, "rows": [{...}, ...]}
+/// Every row is tagged with the thread count, and `row(graph_spec)` adds the
+/// canonical GraphSpec string, so `agc-trace diff` matches rows structurally
+/// (graph/threads/delta composite key) instead of by position.
 class JsonEmitter {
  public:
   JsonEmitter(std::string bench, std::size_t threads)
@@ -77,7 +80,11 @@ class JsonEmitter {
 
   JsonEmitter& row() {
     rows_.emplace_back();
-    return *this;
+    return kv("threads", std::uint64_t{threads_});
+  }
+  JsonEmitter& row(const std::string& graph_spec) {
+    row();
+    return kv("graph", graph_spec);
   }
   JsonEmitter& kv(const std::string& key, std::uint64_t v) {
     return raw(key, std::to_string(v));
@@ -111,6 +118,14 @@ class JsonEmitter {
 
  private:
   JsonEmitter& raw(const std::string& key, std::string value) {
+    // Last write wins: lets a bench overwrite the row() auto-tags (e.g. a
+    // per-row "threads" counter that differs from the harness-level flag).
+    for (auto& [k, v] : rows_.back()) {
+      if (k == key) {
+        v = std::move(value);
+        return *this;
+      }
+    }
     rows_.back().emplace_back(key, std::move(value));
     return *this;
   }

@@ -74,12 +74,6 @@ struct ArbdefectiveResult : runtime::RunReport {
     const graph::Graph& g, std::size_t p, std::uint64_t id_space,
     const runtime::RunOptions& opts = {});
 
-/// Pre-RunOptions spelling; forwards the bare executor into RunOptions.
-[[deprecated("pass RunOptions instead of a bare executor")]]
-[[nodiscard]] ArbdefectiveResult arbdefective_color(
-    const graph::Graph& g, std::size_t p, std::uint64_t id_space,
-    std::shared_ptr<runtime::RoundExecutor> executor);
-
 /// The witness orientation of Lemma 6.2: monochromatic edges point toward
 /// the endpoint with the lexicographically smaller (finalize_round, id); its
 /// max out-degree bounds the arbdefect.  Edges between different classes are

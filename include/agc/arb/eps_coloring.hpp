@@ -46,15 +46,4 @@ struct ClasswiseResult : runtime::RunReport {
     const graph::Graph& g, std::uint64_t id_space = 0,
     const runtime::RunOptions& opts = {});
 
-/// Pre-RunOptions spellings; forward the bare executor into RunOptions.
-[[deprecated("pass RunOptions instead of a bare executor")]]
-[[nodiscard]] ClasswiseResult eps_delta_coloring(
-    const graph::Graph& g, double eps, std::uint64_t id_space,
-    std::shared_ptr<runtime::RoundExecutor> executor);
-
-[[deprecated("pass RunOptions instead of a bare executor")]]
-[[nodiscard]] ClasswiseResult sublinear_delta_plus_one(
-    const graph::Graph& g, std::uint64_t id_space,
-    std::shared_ptr<runtime::RoundExecutor> executor);
-
 }  // namespace agc::arb

@@ -46,22 +46,15 @@ struct PipelineOptions {
 
 /// RunReport core (rounds, converged, metrics, telemetry) plus the coloring,
 /// the palette size and the per-stage round split.
-// The pragma scopes the deprecation to explicit uses of total_rounds: without
-// it the member's default initializer makes the implicitly-defined special
-// members warn in every translation unit that merely copies a report.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct PipelineReport : runtime::RunReport {
   std::vector<Color> colors;
   std::size_t palette = 0;        ///< number of distinct colors used
   std::size_t rounds_linial = 0;  ///< log* phase
   std::size_t rounds_core = 0;    ///< AG / KW / greedy phase
   std::size_t rounds_finish = 0;  ///< final reduction phase (if any)
-  [[deprecated("use RunReport::rounds")]] std::size_t total_rounds = 0;
   bool proper = false;
   bool proper_each_round = false;  ///< the locally-iterative invariant
 };
-#pragma GCC diagnostic pop
 
 [[nodiscard]] PipelineReport color_delta_plus_one(const graph::Graph& g,
                                                   const PipelineOptions& opts = {});

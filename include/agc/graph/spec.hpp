@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agc/graph/graph.hpp"
+
+/// \file spec.hpp
+/// GraphSpec — a parse/format round-trippable description of a graph.
+///
+/// Every generated graph in this repo is fully determined by a generator
+/// name plus a handful of numeric parameters, and the spelling used to ask
+/// for one ("regular:1500,8,1234") has historically been parsed ad hoc in
+/// each tool and bench binary.  GraphSpec centralizes that: it parses both
+/// the legacy positional form (`gnp:1000,0.01,7`) and the named form
+/// (`gnp:n=1000,p=0.01,seed=7`), formats back to one canonical spelling,
+/// and exposes a stable 64-bit content hash of that spelling — the key the
+/// campaign scheduler's graph cache shares identical CSRs under
+/// (docs/SCHED.md).
+///
+/// Round-trip contract: `parse(s).to_string()` is canonical (named form,
+/// declared parameter order, shortest round-trippable float spelling), and
+/// `parse(spec.to_string()) == spec` for every valid spec.  Two specs build
+/// the same graph whenever their content hashes agree.
+
+namespace agc::graph {
+
+class GraphSpec {
+ public:
+  GraphSpec() = default;
+
+  /// Parse `kind:arg,arg,...` where each arg is positional or `key=value`.
+  /// Throws std::invalid_argument on unknown kinds, missing/extra/unknown
+  /// parameters, or malformed numbers.
+  [[nodiscard]] static GraphSpec parse(const std::string& spec);
+
+  /// The canonical spelling: `kind:k1=v1,k2=v2` in declared parameter order.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Stable content hash (FNV-1a over the canonical spelling).  Identical
+  /// across platforms and processes, so it can key on-disk artifacts too.
+  [[nodiscard]] std::uint64_t content_hash() const;
+
+  /// Generate (or, for `file:` specs, load) the graph.
+  [[nodiscard]] Graph build() const;
+
+  /// Coarse upper bound on the resident bytes of one built graph, from the
+  /// parameters alone (no build needed).  The campaign scheduler's memory
+  /// budget admits jobs against this estimate (docs/SCHED.md).
+  [[nodiscard]] std::size_t estimated_bytes() const;
+
+  [[nodiscard]] const std::string& kind() const noexcept { return kind_; }
+
+  /// Named parameter lookup (canonical key); throws if absent.
+  [[nodiscard]] std::uint64_t num(const std::string& key) const;
+  [[nodiscard]] double real(const std::string& key) const;
+
+  friend bool operator==(const GraphSpec& a, const GraphSpec& b) {
+    return a.kind_ == b.kind_ && a.values_ == b.values_;
+  }
+
+ private:
+  std::string kind_;
+  /// Canonicalized textual values, aligned with the kind's declared
+  /// parameter order (see kKinds in spec.cpp).  `file:` keeps one entry, the
+  /// verbatim path.
+  std::vector<std::string> values_;
+};
+
+}  // namespace agc::graph

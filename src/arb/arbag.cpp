@@ -83,14 +83,6 @@ ArbdefectiveResult arbdefective_color(const graph::Graph& g, std::size_t p,
   return result;
 }
 
-ArbdefectiveResult arbdefective_color(
-    const graph::Graph& g, std::size_t p, std::uint64_t id_space,
-    std::shared_ptr<runtime::RoundExecutor> executor) {
-  runtime::RunOptions opts;
-  opts.executor = std::move(executor);
-  return arbdefective_color(g, p, id_space, opts);
-}
-
 graph::Orientation arb_orientation(const graph::Graph& g,
                                    const ArbdefectiveResult& arb) {
   graph::Orientation o;

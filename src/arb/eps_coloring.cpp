@@ -118,20 +118,4 @@ ClasswiseResult sublinear_delta_plus_one(const graph::Graph& g,
   return classwise_color(g, arb, delta + 1);
 }
 
-ClasswiseResult eps_delta_coloring(const graph::Graph& g, double eps,
-                                   std::uint64_t id_space,
-                                   std::shared_ptr<runtime::RoundExecutor> executor) {
-  runtime::RunOptions opts;
-  opts.executor = std::move(executor);
-  return eps_delta_coloring(g, eps, id_space, opts);
-}
-
-ClasswiseResult sublinear_delta_plus_one(
-    const graph::Graph& g, std::uint64_t id_space,
-    std::shared_ptr<runtime::RoundExecutor> executor) {
-  runtime::RunOptions opts;
-  opts.executor = std::move(executor);
-  return sublinear_delta_plus_one(g, id_space, opts);
-}
-
 }  // namespace agc::arb

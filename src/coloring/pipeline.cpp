@@ -71,11 +71,6 @@ runtime::IterativeResult run_linial(const graph::Graph& g,
 void finish(PipelineReport& rep, const graph::Graph& g) {
   rep.palette = graph::palette_size(rep.colors);
   rep.proper = graph::is_proper_coloring(g, rep.colors);
-// Keep the deprecated alias in sync for pre-RunReport callers.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  rep.total_rounds = rep.rounds;
-#pragma GCC diagnostic pop
 }
 
 PipelineReport fresh_report() {

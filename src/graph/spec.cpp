@@ -1,0 +1,261 @@
+#include "agc/graph/spec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "agc/graph/generators.hpp"
+#include "agc/graph/io.hpp"
+
+namespace agc::graph {
+
+namespace {
+
+enum class ParamType : std::uint8_t { U64, F64, Text };
+
+struct ParamDef {
+  const char* key;
+  ParamType type;
+};
+
+struct KindDef {
+  const char* kind;
+  std::vector<ParamDef> params;
+};
+
+/// The one place a generator spelling is declared.  Positional args map onto
+/// these in order; the named form may give them in any order.
+const std::vector<KindDef>& kinds() {
+  static const std::vector<KindDef> defs = {
+      {"file", {{"path", ParamType::Text}}},
+      {"gnp", {{"n", ParamType::U64}, {"p", ParamType::F64}, {"seed", ParamType::U64}}},
+      {"regular", {{"n", ParamType::U64}, {"d", ParamType::U64}, {"seed", ParamType::U64}}},
+      {"grid", {{"rows", ParamType::U64}, {"cols", ParamType::U64}}},
+      {"cycle", {{"n", ParamType::U64}}},
+      {"path", {{"n", ParamType::U64}}},
+      {"complete", {{"n", ParamType::U64}}},
+      {"star", {{"n", ParamType::U64}}},
+      {"tree", {{"n", ParamType::U64}}},
+      {"geometric",
+       {{"n", ParamType::U64}, {"radius", ParamType::F64}, {"seed", ParamType::U64}}},
+      {"ba", {{"n", ParamType::U64}, {"attach", ParamType::U64}, {"seed", ParamType::U64}}},
+      {"bipartite", {{"a", ParamType::U64}, {"b", ParamType::U64}}},
+      {"hypercube", {{"d", ParamType::U64}}},
+      {"multipartite", {{"k", ParamType::U64}, {"part", ParamType::U64}}},
+      {"caterpillar", {{"spine", ParamType::U64}, {"legs", ParamType::U64}}},
+      {"blowup", {{"len", ParamType::U64}, {"blow", ParamType::U64}}},
+      {"bounded",
+       {{"n", ParamType::U64},
+        {"dmax", ParamType::U64},
+        {"m", ParamType::U64},
+        {"seed", ParamType::U64}}},
+  };
+  return defs;
+}
+
+[[noreturn]] void fail(const std::string& spec, const std::string& what) {
+  throw std::invalid_argument("graph spec '" + spec + "': " + what);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) return out;
+    start = pos + 1;
+  }
+}
+
+std::string canonical_u64(const std::string& spec, const std::string& text) {
+  char* end = nullptr;
+  const auto v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') fail(spec, "bad integer '" + text + "'");
+  return std::to_string(v);
+}
+
+/// Shortest %.*g spelling that strtod round-trips to the same double — so
+/// `p=0.01` stays "0.01" and the canonical form is injective on values.
+std::string canonical_f64(const std::string& spec, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') fail(spec, "bad number '" + text + "'");
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+GraphSpec GraphSpec::parse(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) fail(spec, "expected kind:args");
+  GraphSpec out;
+  out.kind_ = spec.substr(0, colon);
+
+  const KindDef* def = nullptr;
+  for (const auto& k : kinds()) {
+    if (out.kind_ == k.kind) def = &k;
+  }
+  if (def == nullptr) fail(spec, "unknown kind '" + out.kind_ + "'");
+
+  // `file:` takes the remainder verbatim (paths may contain ',' or '=').
+  if (def->params.size() == 1 && def->params[0].type == ParamType::Text) {
+    out.values_ = {spec.substr(colon + 1)};
+    if (out.values_[0].empty()) fail(spec, "missing path");
+    return out;
+  }
+
+  const auto args = split(spec.substr(colon + 1), ',');
+  if (args.size() != def->params.size()) {
+    fail(spec, "expected " + std::to_string(def->params.size()) + " args, got " +
+                   std::to_string(args.size()));
+  }
+  out.values_.assign(def->params.size(), std::string());
+  std::size_t positional = 0;
+  for (const auto& arg : args) {
+    const auto eq = arg.find('=');
+    std::size_t slot = 0;
+    std::string text;
+    if (eq == std::string::npos) {
+      slot = positional++;
+      text = arg;
+    } else {
+      const std::string key = arg.substr(0, eq);
+      text = arg.substr(eq + 1);
+      std::size_t found = def->params.size();
+      for (std::size_t i = 0; i < def->params.size(); ++i) {
+        if (key == def->params[i].key) found = i;
+      }
+      if (found == def->params.size()) fail(spec, "unknown parameter '" + key + "'");
+      slot = found;
+    }
+    if (slot >= def->params.size()) fail(spec, "too many positional args");
+    if (!out.values_[slot].empty()) {
+      fail(spec, std::string("duplicate parameter '") + def->params[slot].key + "'");
+    }
+    out.values_[slot] = def->params[slot].type == ParamType::F64
+                            ? canonical_f64(spec, text)
+                            : canonical_u64(spec, text);
+  }
+  for (std::size_t i = 0; i < def->params.size(); ++i) {
+    if (out.values_[i].empty()) {
+      fail(spec, std::string("missing parameter '") + def->params[i].key + "'");
+    }
+  }
+  return out;
+}
+
+std::string GraphSpec::to_string() const {
+  const KindDef* def = nullptr;
+  for (const auto& k : kinds()) {
+    if (kind_ == k.kind) def = &k;
+  }
+  if (def == nullptr) return kind_ + ":?";
+  std::string out = kind_;
+  out += ':';
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += def->params[i].key;
+    out += '=';
+    out += values_[i];
+  }
+  return out;
+}
+
+std::uint64_t GraphSpec::content_hash() const {
+  // FNV-1a, 64-bit: stable across platforms, good enough to key a cache
+  // whose correctness only needs "equal hash for equal canonical spelling".
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : to_string()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t GraphSpec::num(const std::string& key) const {
+  for (const auto& k : kinds()) {
+    if (kind_ != k.kind) continue;
+    for (std::size_t i = 0; i < k.params.size(); ++i) {
+      if (key == k.params[i].key) {
+        return std::strtoull(values_[i].c_str(), nullptr, 10);
+      }
+    }
+  }
+  throw std::invalid_argument("GraphSpec::num: no parameter '" + key + "' on '" +
+                              kind_ + "'");
+}
+
+double GraphSpec::real(const std::string& key) const {
+  for (const auto& k : kinds()) {
+    if (kind_ != k.kind) continue;
+    for (std::size_t i = 0; i < k.params.size(); ++i) {
+      if (key == k.params[i].key) return std::strtod(values_[i].c_str(), nullptr);
+    }
+  }
+  throw std::invalid_argument("GraphSpec::real: no parameter '" + key + "' on '" +
+                              kind_ + "'");
+}
+
+Graph GraphSpec::build() const {
+  if (kind_ == "file") return read_edge_list_file(values_[0]);
+  if (kind_ == "gnp") return random_gnp(num("n"), real("p"), num("seed"));
+  if (kind_ == "regular") return random_regular(num("n"), num("d"), num("seed"));
+  if (kind_ == "grid") return grid(num("rows"), num("cols"));
+  if (kind_ == "cycle") return cycle(num("n"));
+  if (kind_ == "path") return path(num("n"));
+  if (kind_ == "complete") return complete(num("n"));
+  if (kind_ == "star") return star(num("n"));
+  if (kind_ == "tree") return binary_tree(num("n"));
+  if (kind_ == "geometric") return random_geometric(num("n"), real("radius"), num("seed"));
+  if (kind_ == "ba") return barabasi_albert(num("n"), num("attach"), num("seed"));
+  if (kind_ == "bipartite") return complete_bipartite(num("a"), num("b"));
+  if (kind_ == "hypercube") return hypercube(num("d"));
+  if (kind_ == "multipartite") return complete_multipartite(num("k"), num("part"));
+  if (kind_ == "caterpillar") return caterpillar(num("spine"), num("legs"));
+  if (kind_ == "blowup") return cycle_blowup(num("len"), num("blow"));
+  if (kind_ == "bounded") {
+    return random_bounded_degree(num("n"), num("dmax"), num("m"), num("seed"));
+  }
+  throw std::invalid_argument("GraphSpec::build: unknown kind '" + kind_ + "'");
+}
+
+std::size_t GraphSpec::estimated_bytes() const {
+  // n and an expected edge count per kind; the constant per vertex/edge is
+  // deliberately generous (adjacency entry + CSR mirror + engine copy).
+  auto nm = [&]() -> std::pair<std::uint64_t, std::uint64_t> {
+    if (kind_ == "gnp") {
+      const auto n = num("n");
+      return {n, static_cast<std::uint64_t>(real("p") * double(n) * double(n) / 2.0)};
+    }
+    if (kind_ == "regular") return {num("n"), num("n") * num("d") / 2};
+    if (kind_ == "grid") return {num("rows") * num("cols"), 2 * num("rows") * num("cols")};
+    if (kind_ == "cycle" || kind_ == "path" || kind_ == "tree") return {num("n"), num("n")};
+    if (kind_ == "star") return {num("n"), num("n")};
+    if (kind_ == "complete") return {num("n"), num("n") * num("n") / 2};
+    if (kind_ == "geometric") {
+      const auto n = num("n");
+      const double r = real("radius");
+      return {n, static_cast<std::uint64_t>(3.14 * r * r * double(n) * double(n) / 2.0)};
+    }
+    if (kind_ == "ba") return {num("n"), num("n") * num("attach")};
+    if (kind_ == "bipartite") return {num("a") + num("b"), num("a") * num("b")};
+    if (kind_ == "hypercube") return {1ULL << num("d"), (1ULL << num("d")) * num("d") / 2};
+    if (kind_ == "multipartite") {
+      const auto n = num("k") * num("part");
+      return {n, n * (num("k") - 1) * num("part") / 2};
+    }
+    if (kind_ == "caterpillar") return {num("spine") * (1 + num("legs")), num("spine") * (2 + num("legs"))};
+    if (kind_ == "blowup") return {num("len") * num("blow"), num("len") * num("blow") * num("blow")};
+    if (kind_ == "bounded") return {num("n"), num("m")};
+    return {1 << 16, 1 << 18};  // file: and anything unknown — a safe default
+  }();
+  return 64 * (nm.first + 1) + 16 * (nm.second + 1);
+}
+
+}  // namespace agc::graph

@@ -1,0 +1,241 @@
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "agc/arb/eps_coloring.hpp"
+#include "agc/coloring/pipeline.hpp"
+#include "agc/coloring/symmetry.hpp"
+#include "agc/faultlab/channel.hpp"
+#include "agc/faultlab/harness.hpp"
+#include "agc/faultlab/plan.hpp"
+#include "agc/runtime/engine.hpp"
+#include "agc/runtime/faults.hpp"
+#include "agc/sched/campaign.hpp"
+#include "agc/selfstab/ss_coloring.hpp"
+
+/// \file registry.cpp
+/// The built-in campaign runners: every algorithm entry point the CLI can
+/// drive, adapted to the scheduler's RunnerContext -> JobResult shape.  Each
+/// runner is a pure function of (graph, JobSpec, attempt) — nothing here may
+/// read clocks, global state, or scheduling context, or the campaign
+/// determinism contract breaks.
+
+namespace agc::sched {
+
+namespace {
+
+/// Stream separator so the wire and RAM/topology adversaries never share a
+/// seed even though both derive from JobSpec::seed.
+constexpr std::uint64_t kChannelStream = 0x9e3779b97f4a7c15ULL;
+
+std::size_t distinct_colors(std::vector<graph::Color> colors) {
+  std::sort(colors.begin(), colors.end());
+  return static_cast<std::size_t>(
+      std::unique(colors.begin(), colors.end()) - colors.begin());
+}
+
+double d(std::uint64_t v) { return static_cast<double>(v); }
+
+JobResult from_pipeline(const coloring::PipelineReport& rep) {
+  JobResult r;
+  static_cast<runtime::RunReport&>(r) = rep;
+  r.ok = rep.converged && rep.proper;
+  r.palette = rep.palette;
+  r.values = {{"rounds_linial", d(rep.rounds_linial)},
+              {"rounds_core", d(rep.rounds_core)},
+              {"rounds_finish", d(rep.rounds_finish)},
+              {"proper_each_round", rep.proper_each_round ? 1.0 : 0.0}};
+  return r;
+}
+
+coloring::PipelineOptions pipeline_options(const RunnerContext& ctx) {
+  coloring::PipelineOptions po(ctx.opts);
+  po.id_space_factor = ctx.spec.id_space_factor;
+  return po;
+}
+
+JobResult run_gps(const RunnerContext& ctx) {
+  return from_pipeline(coloring::color_linial_greedy(ctx.g, pipeline_options(ctx)));
+}
+
+JobResult run_kw(const RunnerContext& ctx) {
+  return from_pipeline(coloring::color_kuhn_wattenhofer(ctx.g, pipeline_options(ctx)));
+}
+
+JobResult run_ag(const RunnerContext& ctx) {
+  return from_pipeline(coloring::color_delta_plus_one(ctx.g, pipeline_options(ctx)));
+}
+
+JobResult run_exact(const RunnerContext& ctx) {
+  return from_pipeline(
+      coloring::color_delta_plus_one_exact(ctx.g, pipeline_options(ctx)));
+}
+
+JobResult run_odelta(const RunnerContext& ctx) {
+  return from_pipeline(coloring::color_o_delta(ctx.g, pipeline_options(ctx)));
+}
+
+JobResult run_sublinear(const RunnerContext& ctx) {
+  const auto rep = arb::sublinear_delta_plus_one(
+      ctx.g, ctx.g.n() * ctx.spec.id_space_factor, ctx.opts);
+  JobResult r;
+  static_cast<runtime::RunReport&>(r) = rep;
+  r.ok = rep.converged && rep.proper;
+  r.palette = rep.palette;
+  r.values = {{"arb_rounds", d(rep.arb_rounds)}};
+  return r;
+}
+
+JobResult run_mis(const RunnerContext& ctx) {
+  const auto rep = coloring::maximal_independent_set(ctx.g, pipeline_options(ctx));
+  JobResult r;
+  static_cast<runtime::RunReport&>(r) = rep;
+  r.ok = rep.valid;
+  std::size_t size = 0;
+  for (const bool b : rep.in_mis) size += b;
+  r.values = {{"mis_size", d(size)},
+              {"rounds_coloring", d(rep.rounds_coloring)},
+              {"rounds_mis", d(rep.rounds_mis)}};
+  return r;
+}
+
+JobResult run_matching(const RunnerContext& ctx) {
+  const auto rep = coloring::maximal_matching(ctx.g, pipeline_options(ctx));
+  JobResult r;
+  static_cast<runtime::RunReport&>(r) = rep;
+  r.ok = rep.valid;
+  r.values = {{"matching_size", d(rep.matching.size())}};
+  return r;
+}
+
+JobResult run_ss(const RunnerContext& ctx, selfstab::PaletteMode mode) {
+  const auto& g = ctx.g;
+  const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
+  const selfstab::SsConfig cfg(
+      std::max<std::uint64_t>(g.n(), 1) * ctx.spec.id_space_factor, delta, mode);
+  runtime::EngineOptions eo;
+  eo.id_space_factor = ctx.spec.id_space_factor;
+  eo.delta_bound = delta;
+  runtime::Engine engine(g, runtime::Transport(runtime::Model::LOCAL), eo);
+  engine.set_executor(ctx.opts.executor);
+  engine.install(selfstab::ss_coloring_factory(cfg));
+
+  JobResult r;
+  const auto& fs = ctx.spec.faults;
+  if (!fs.any()) {
+    const auto rep = selfstab::run_until_stable(engine, cfg, ctx.opts,
+                                                fs.confirm_rounds);
+    static_cast<runtime::RunReport&>(r) = rep;
+    r.ok = rep.stabilized;
+    r.palette = distinct_colors(rep.colors);
+    r.values = {{"rounds_to_stable", d(rep.rounds_to_stable)}};
+    return r;
+  }
+
+  runtime::RunOptions ro = ctx.opts;
+  faultlab::FaultPlanRecorder recorder;
+  std::unique_ptr<faultlab::PlanAdversary> plan_adv;
+  std::unique_ptr<faultlab::ChannelPlayback> playback;
+  std::unique_ptr<runtime::PeriodicAdversary> periodic;
+  std::unique_ptr<faultlab::ChannelAdversary> channel;
+  faultlab::FaultPlan plan;
+  const bool record = !fs.plan_out.empty() && fs.plan_path.empty();
+  if (record) engine.set_fault_recorder(&recorder);
+  if (!fs.plan_path.empty()) {
+    plan = faultlab::FaultPlan::load(fs.plan_path);
+    plan_adv = std::make_unique<faultlab::PlanAdversary>(plan);
+    playback = std::make_unique<faultlab::ChannelPlayback>(plan.events);
+    ro.adversary = plan_adv.get();
+    ro.channel = playback.get();
+  } else {
+    if (fs.channel.total_per_million() > 0) {
+      auto ccfg = fs.channel;
+      ccfg.seed = attempt_seed(ctx.spec.seed ^ kChannelStream, ctx.attempt);
+      channel = std::make_unique<faultlab::ChannelAdversary>(
+          ccfg, record ? static_cast<runtime::FaultEventSink*>(&recorder)
+                       : nullptr);
+      ro.channel = channel.get();
+    }
+    if (fs.periodic.corrupt + fs.periodic.clones + fs.periodic.edge_adds +
+            fs.periodic.edge_removes >
+        0) {
+      periodic = std::make_unique<runtime::PeriodicAdversary>(
+          attempt_seed(ctx.spec.seed, ctx.attempt), fs.periodic);
+      ro.adversary = periodic.get();
+    }
+  }
+
+  faultlab::StabilizationSpec sspec;
+  sspec.check = faultlab::coloring_check(cfg);
+  sspec.outputs = faultlab::coloring_outputs();
+  sspec.recovery_budget = fs.recovery_budget;
+  sspec.confirm_rounds = fs.confirm_rounds;
+  const auto out = faultlab::run_stabilization(engine, ro, sspec);
+  engine.set_fault_recorder(nullptr);
+
+  static_cast<runtime::RunReport&>(r) = out;
+  r.ok = out.recovered;
+  r.palette = distinct_colors(selfstab::current_colors(engine));
+  r.values = {{"recovery_rounds", d(out.recovery_rounds)},
+              {"adjusted", d(out.adjusted.size())},
+              {"last_fault_round", d(out.last_fault_round)}};
+  if (!out.recovered) {
+    r.watchdog = true;
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s at round %llu (u=%u v=%u value=%llu)",
+                  faultlab::to_string(out.violation.kind),
+                  static_cast<unsigned long long>(out.violation.round),
+                  out.violation.u, out.violation.v,
+                  static_cast<unsigned long long>(out.violation.value));
+    r.error = buf;
+  }
+  if (record) {
+    if (!out.recovered) {
+      recorder.take().save(fs.plan_out);
+    } else {
+      // A retried job that recovered leaves no stale reproducer behind.
+      std::remove(fs.plan_out.c_str());
+    }
+  }
+  return r;
+}
+
+JobResult run_ss_odelta(const RunnerContext& ctx) {
+  return run_ss(ctx, selfstab::PaletteMode::ODelta);
+}
+
+JobResult run_ss_exact(const RunnerContext& ctx) {
+  return run_ss(ctx, selfstab::PaletteMode::ExactDeltaPlusOne);
+}
+
+const Runner kRunners[] = {
+    {"gps", "Linial + greedy baseline, O(Delta^2 + log* n)", &run_gps, false},
+    {"kw", "Kuhn-Wattenhofer barrier baseline, O(Delta log Delta + log* n)",
+     &run_kw, false},
+    {"ag", "AG pipeline, Delta+1 colors in O(Delta + log* n)", &run_ag, false},
+    {"exact", "mixed 3AG/AG(N) pipeline, exactly Delta+1 colors", &run_exact,
+     false},
+    {"odelta", "stop after AG with O(Delta) colors", &run_odelta, false},
+    {"sublinear", "arbdefective classwise (Delta+1), sublinear in Delta",
+     &run_sublinear, false},
+    {"mis", "AG coloring + MIS decision wave", &run_mis, false},
+    {"matching", "maximal matching via line-graph MIS", &run_matching, false},
+    {"ss-color", "self-stabilizing O(Delta)-coloring under faults",
+     &run_ss_odelta, true},
+    {"ss-color-exact", "self-stabilizing exact (Delta+1)-coloring under faults",
+     &run_ss_exact, true},
+};
+
+}  // namespace
+
+std::span<const Runner> runners() { return kRunners; }
+
+const Runner* find_runner(std::string_view name) {
+  for (const auto& r : kRunners) {
+    if (name == r.name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace agc::sched

@@ -1,0 +1,319 @@
+// The campaign scheduler (src/sched): GraphSpec canonicalization and content
+// hashing, campaign parse/format round-trips, two-level scheduling with the
+// graph cache and memory backpressure, watchdog retries, and the determinism
+// contract — aggregate JSONL bit-identical across 1/2/8 workers (this binary
+// also runs under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "agc/graph/checks.hpp"
+#include "agc/graph/generators.hpp"
+#include "agc/graph/spec.hpp"
+#include "agc/obs/event_sink.hpp"
+#include "agc/sched/campaign.hpp"
+
+namespace {
+
+using namespace agc;
+using graph::GraphSpec;
+using sched::Campaign;
+using sched::CampaignReport;
+using sched::JobSpec;
+using sched::ScheduleOptions;
+
+// ---------------------------------------------------------------------------
+// GraphSpec
+// ---------------------------------------------------------------------------
+
+TEST(GraphSpec, CanonicalizesPositionalAndNamedForms) {
+  const auto positional = GraphSpec::parse("regular:1500,8,1242");
+  const auto named = GraphSpec::parse("regular:seed=1242,n=1500,d=8");
+  EXPECT_EQ(positional.to_string(), "regular:n=1500,d=8,seed=1242");
+  EXPECT_EQ(positional.to_string(), named.to_string());
+  EXPECT_EQ(positional.content_hash(), named.content_hash());
+  EXPECT_TRUE(positional == named);
+}
+
+TEST(GraphSpec, RoundTripsThroughToString) {
+  for (const char* s :
+       {"gnp:n=1000,p=0.01,seed=7", "cycle:n=64", "grid:rows=8,cols=10",
+        "geometric:n=200,radius=0.125,seed=3", "hypercube:d=5",
+        "bounded:n=600,dmax=10,m=2200,seed=42"}) {
+    const auto spec = GraphSpec::parse(s);
+    EXPECT_EQ(spec.to_string(), s);
+    const auto reparsed = GraphSpec::parse(spec.to_string());
+    EXPECT_EQ(reparsed.content_hash(), spec.content_hash());
+  }
+}
+
+TEST(GraphSpec, BuildMatchesDirectGenerators) {
+  const auto g1 = GraphSpec::parse("regular:n=300,d=6,seed=9").build();
+  const auto g2 = graph::random_regular(300, 6, 9);
+  ASSERT_EQ(g1.n(), g2.n());
+  ASSERT_EQ(g1.m(), g2.m());
+  for (graph::Vertex v = 0; v < g1.n(); ++v) {
+    const auto a = g1.neighbors(v);
+    const auto b = g2.neighbors(v);
+    ASSERT_EQ(std::vector(a.begin(), a.end()), std::vector(b.begin(), b.end()));
+  }
+}
+
+TEST(GraphSpec, DistinctSpecsHashDifferently) {
+  EXPECT_NE(GraphSpec::parse("cycle:64").content_hash(),
+            GraphSpec::parse("cycle:65").content_hash());
+  EXPECT_NE(GraphSpec::parse("cycle:64").content_hash(),
+            GraphSpec::parse("path:64").content_hash());
+}
+
+TEST(GraphSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(GraphSpec::parse("nosuchkind:5"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("regular:n=10"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("cycle:n=10,extra=1"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("cycle:n=10,n=11"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("cycle"), std::invalid_argument);
+}
+
+TEST(GraphSpec, EstimatedBytesScalesWithSize) {
+  const auto small = GraphSpec::parse("cycle:64").estimated_bytes();
+  const auto big = GraphSpec::parse("cycle:100000").estimated_bytes();
+  EXPECT_GT(small, 0u);
+  EXPECT_GT(big, 100 * small);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign file format
+// ---------------------------------------------------------------------------
+
+TEST(CampaignFormat, ParsesJobsWithDefaultsAndComments) {
+  std::istringstream in(
+      "# a comment\n"
+      "algo=ag graph=cycle:64\n"
+      "\n"
+      "algo=exact graph=gnp:100,0.06,2 seed=5 tag=cell-b max-rounds=500\n");
+  const auto c = Campaign::parse(in);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.job(0).algorithm, "ag");
+  EXPECT_EQ(c.job(0).graph.to_string(), "cycle:n=64");
+  EXPECT_EQ(c.job(0).seed, 1u);
+  EXPECT_EQ(c.job(1).tag, "cell-b");
+  EXPECT_EQ(c.job(1).seed, 5u);
+  EXPECT_EQ(c.job(1).opts.max_rounds, 500u);
+}
+
+TEST(CampaignFormat, FormatParseRoundTrip) {
+  Campaign c;
+  c.add_grid({"ag", "kw"}, {GraphSpec::parse("cycle:64"),
+                            GraphSpec::parse("regular:100,6,3")},
+             {1, 2});
+  JobSpec faulty;
+  faulty.algorithm = "ss-color";
+  faulty.graph = GraphSpec::parse("regular:100,6,3");
+  faulty.seed = 9;
+  faulty.faults.channel.drop_per_million = 20'000;
+  faulty.faults.channel.last_round = 24;
+  faulty.faults.periodic = {.period = 6, .last_round = 24, .corrupt = 2};
+  faulty.faults.recovery_budget = 4000;
+  c.add(faulty);
+
+  std::istringstream in(c.format());
+  const auto back = Campaign::parse(in);
+  EXPECT_EQ(back.format(), c.format());
+  ASSERT_EQ(back.size(), c.size());
+  EXPECT_EQ(back.job(8).faults.channel.drop_per_million, 20'000u);
+  EXPECT_EQ(back.job(8).faults.periodic.corrupt, 2u);
+  EXPECT_EQ(back.job(8).faults.recovery_budget, 4000u);
+}
+
+TEST(CampaignFormat, RejectsUnknownRunnerAndBadDeps) {
+  std::istringstream bad_algo("algo=nosuch graph=cycle:64\n");
+  EXPECT_THROW(Campaign::parse(bad_algo), std::invalid_argument);
+  std::istringstream fwd_dep("algo=ag graph=cycle:64 deps=1\n");
+  EXPECT_THROW(Campaign::parse(fwd_dep), std::invalid_argument);
+}
+
+TEST(CampaignFormat, AddGridOrdersAlgorithmMajor) {
+  Campaign c;
+  c.add_grid({"ag", "exact"}, {GraphSpec::parse("cycle:8")}, {1, 2});
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.job(0).algorithm, "ag");
+  EXPECT_EQ(c.job(1).algorithm, "ag");
+  EXPECT_EQ(c.job(1).seed, 2u);
+  EXPECT_EQ(c.job(2).algorithm, "exact");
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling: determinism, cache, backpressure, deps, retries
+// ---------------------------------------------------------------------------
+
+Campaign small_campaign() {
+  Campaign c;
+  c.add_grid({"ag", "exact", "gps"},
+             {GraphSpec::parse("cycle:64"), GraphSpec::parse("gnp:100,0.06,2"),
+              GraphSpec::parse("regular:100,6,3")},
+             {1, 2});
+  return c;
+}
+
+TEST(Scheduler, AggregatesBitIdenticalAcross128Threads) {
+  const auto c = small_campaign();
+  std::string jsonl[3];
+  std::size_t i = 0;
+  for (const std::size_t threads : {1, 2, 8}) {
+    ScheduleOptions so;
+    so.threads = threads;
+    jsonl[i++] = sched::run_campaign(c, so).to_jsonl();
+  }
+  EXPECT_EQ(jsonl[0], jsonl[1]);
+  EXPECT_EQ(jsonl[0], jsonl[2]);
+  EXPECT_NE(jsonl[0].find("\"campaign\""), std::string::npos);
+}
+
+TEST(Scheduler, CacheAccountingIsExact) {
+  const auto c = small_campaign();  // 18 jobs over 3 distinct graphs
+  ScheduleOptions so;
+  so.threads = 4;
+  const auto report = sched::run_campaign(c, so);
+  EXPECT_EQ(report.cache_misses, 3u);
+  EXPECT_EQ(report.cache_hits, c.size() - 3);
+  // Exactly the first job touching each distinct spec is a miss, regardless
+  // of execution order.
+  std::size_t misses = 0;
+  for (const auto& job : report.jobs) misses += job.cache_hit ? 0 : 1;
+  EXPECT_EQ(misses, 3u);
+  EXPECT_FALSE(report.jobs[0].cache_hit);
+}
+
+TEST(Scheduler, TinyMemoryBudgetStillCompletes) {
+  const auto c = small_campaign();
+  ScheduleOptions so;
+  so.threads = 8;
+  so.memory_budget_bytes = 1;  // admits one job at a time: degrade, not deadlock
+  const auto report = sched::run_campaign(c, so);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_GT(report.peak_bytes_in_flight, 0u);
+  // With admission gated at one in-flight graph, the peak never exceeds the
+  // largest single estimate.
+  std::size_t largest = 0;
+  for (std::size_t j = 0; j < c.size(); ++j) {
+    largest = std::max(largest, c.job(j).graph.estimated_bytes());
+  }
+  EXPECT_LE(report.peak_bytes_in_flight, largest);
+
+  ScheduleOptions unlimited;
+  unlimited.threads = 8;
+  const auto free_report = sched::run_campaign(c, unlimited);
+  EXPECT_EQ(free_report.to_jsonl(), report.to_jsonl());
+}
+
+TEST(Scheduler, DependenciesRunBeforeDependents) {
+  Campaign c;
+  JobSpec a;
+  a.algorithm = "ag";
+  a.graph = GraphSpec::parse("cycle:64");
+  c.add(a);
+  JobSpec b = a;
+  b.algorithm = "exact";
+  b.deps = {0};
+  c.add(b);
+  ScheduleOptions so;
+  so.threads = 2;
+  const auto report = sched::run_campaign(c, so);
+  EXPECT_TRUE(report.all_ok());
+
+  Campaign cyclic;
+  JobSpec self = a;
+  cyclic.add(self);
+  EXPECT_THROW(cyclic.depend(0, 0), std::invalid_argument);
+}
+
+TEST(Scheduler, WatchdogRetriesWithRerolledSeeds) {
+  // An impossible recovery budget forces the watchdog on every attempt: the
+  // scheduler must exhaust max_attempts and report the violation.
+  Campaign c;
+  JobSpec job;
+  job.algorithm = "ss-color";
+  job.graph = GraphSpec::parse("regular:100,6,3");
+  job.seed = 5;
+  job.faults.periodic = {.period = 1, .last_round = 1'000'000, .corrupt = 4};
+  job.faults.recovery_budget = 3;
+  job.opts.max_rounds = 50;
+  c.add(job);
+  ScheduleOptions so;
+  so.max_attempts = 3;
+  const auto report = sched::run_campaign(c, so);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.jobs[0].attempts, 3u);
+  EXPECT_EQ(report.retries, 2u);
+  EXPECT_TRUE(report.jobs[0].watchdog);
+  EXPECT_FALSE(report.jobs[0].error.empty());
+}
+
+TEST(Scheduler, AttemptSeedIsStableAndDistinct) {
+  EXPECT_EQ(sched::attempt_seed(42, 0), 42u);
+  EXPECT_EQ(sched::attempt_seed(42, 1), 42u);
+  EXPECT_NE(sched::attempt_seed(42, 2), 42u);
+  EXPECT_NE(sched::attempt_seed(42, 2), sched::attempt_seed(42, 3));
+  EXPECT_EQ(sched::attempt_seed(42, 2), sched::attempt_seed(42, 2));
+}
+
+TEST(Scheduler, FaultCampaignDeterministicAcrossThreads) {
+  Campaign c;
+  for (const std::uint64_t seed : {1, 2, 3, 4}) {
+    JobSpec job;
+    job.algorithm = "ss-color";
+    job.graph = GraphSpec::parse("regular:100,6,3");
+    job.seed = seed;
+    job.faults.channel.drop_per_million = 20'000;
+    job.faults.channel.first_round = 1;
+    job.faults.channel.last_round = 24;
+    job.faults.recovery_budget = 4000;
+    c.add(std::move(job));
+  }
+  ScheduleOptions so1, so8;
+  so1.threads = 1;
+  so8.threads = 8;
+  const auto r1 = sched::run_campaign(c, so1);
+  const auto r8 = sched::run_campaign(c, so8);
+  EXPECT_EQ(r1.to_jsonl(), r8.to_jsonl());
+  EXPECT_TRUE(r1.all_ok());
+  // Different job seeds draw different fault streams.
+  EXPECT_NE(r1.jobs[0].fault_events, 0u);
+}
+
+TEST(Scheduler, SinkReceivesJobIdOrderedEvents) {
+  const auto c = small_campaign();
+  obs::RingSink ring(64);
+  ScheduleOptions so;
+  so.threads = 4;
+  so.sink = &ring;
+  const auto report = sched::run_campaign(c, so);
+  ASSERT_TRUE(report.all_ok());
+  // RunStart + one StageEnd per job + RunEnd, emitted after completion in
+  // job-id order regardless of which worker finished first.
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), c.size() + 2);
+  EXPECT_EQ(events.front().kind, obs::EventKind::RunStart);
+  EXPECT_EQ(events.back().kind, obs::EventKind::RunEnd);
+  for (std::size_t j = 0; j < c.size(); ++j) {
+    EXPECT_EQ(events[j + 1].kind, obs::EventKind::StageEnd);
+    EXPECT_EQ(events[j + 1].round, report.jobs[j].rounds);
+  }
+}
+
+TEST(Scheduler, TimingExcludedFromJsonlByDefault) {
+  Campaign c;
+  JobSpec job;
+  job.algorithm = "ag";
+  job.graph = GraphSpec::parse("cycle:64");
+  c.add(job);
+  ScheduleOptions so;
+  const auto report = sched::run_campaign(c, so);
+  EXPECT_EQ(report.to_jsonl().find("wall_ns"), std::string::npos);
+  EXPECT_NE(report.to_jsonl(true).find("wall_ns"), std::string::npos);
+}
+
+}  // namespace

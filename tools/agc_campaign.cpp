@@ -1,0 +1,178 @@
+// agc-campaign — campaign grid authoring for the scheduler (docs/SCHED.md).
+//
+//   agc-campaign grid --algos ag,kw,gps --graphs "regular:1500,8,1242 gnp:1000,0.01,7"
+//                     --seeds 1,2,3 [--tag T] [--model setlocal|local|congest]
+//                     [--max-rounds N] [--idspace F]
+//                     [--chan-drop P] [--chan-corrupt P] [--chan-dup P]
+//                     [--chan-delay P] [--chan-first R] [--chan-last R]
+//                     [--adv-period N] [--adv-last R] [--adv-corrupt K]
+//                     [--adv-range V] [--adv-clones K] [--adv-eadds K]
+//                     [--adv-eremoves K] [--adv-dmax D]
+//                     [--budget N] [--confirm N] [--plan-out-dir DIR]
+//                     [--out FILE]
+//   agc-campaign ls --file FILE
+//
+// `grid` expands the cross product algorithms x graphs x seeds into the
+// campaign file format (one `key=value ...` job line per cell, graphs in
+// canonical GraphSpec spelling) that `agccli campaign run` executes.  With
+// --plan-out-dir each fault job records its injected faults and saves a
+// replayable plan there when it fails — the nightly fuzz artifact.
+// Channel probabilities are floats in [0,1].
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "agc/sched/campaign.hpp"
+
+namespace {
+
+using namespace agc;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: agc-campaign grid --algos a,b --graphs \"spec spec\" "
+               "[--seeds 1,2] [options] [--out FILE]\n"
+               "       agc-campaign ls --file FILE\n"
+               "see the header of tools/agc_campaign.cpp for details\n");
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, sep)) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool has(const std::string& k) const { return kv.count(k) != 0; }
+  std::string get(const std::string& k, const std::string& dflt = "") const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  std::uint64_t num(const std::string& k, std::uint64_t dflt) const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+std::uint32_t ppm(const Args& a, const std::string& key) {
+  if (!a.has(key)) return 0;
+  const double p = std::strtod(a.get(key).c_str(), nullptr);
+  if (p < 0.0 || p > 1.0) usage("probabilities must be in [0,1]");
+  return static_cast<std::uint32_t>(p * 1'000'000.0);
+}
+
+int cmd_grid(const Args& a) {
+  if (!a.has("algos") || !a.has("graphs")) {
+    usage("grid needs --algos and --graphs");
+  }
+  const auto algos = split(a.get("algos"), ',');
+  const auto graph_specs = split(a.get("graphs"), ' ');
+  const auto seed_strs = split(a.get("seeds", "1"), ',');
+
+  sched::JobSpec base;
+  base.tag = a.get("tag");
+  const std::string model = a.get("model", "setlocal");
+  if (model == "local") {
+    base.opts.model = runtime::Model::LOCAL;
+  } else if (model == "congest") {
+    base.opts.model = runtime::Model::CONGEST;
+  } else if (model != "setlocal") {
+    usage("unknown --model");
+  }
+  if (a.has("max-rounds")) base.opts.max_rounds = a.num("max-rounds", 0);
+  base.id_space_factor = a.num("idspace", 1);
+  base.faults.channel.drop_per_million = ppm(a, "chan-drop");
+  base.faults.channel.corrupt_per_million = ppm(a, "chan-corrupt");
+  base.faults.channel.duplicate_per_million = ppm(a, "chan-dup");
+  base.faults.channel.delay_per_million = ppm(a, "chan-delay");
+  base.faults.channel.first_round = a.num("chan-first", 0);
+  if (a.has("chan-last")) base.faults.channel.last_round = a.num("chan-last", 0);
+  base.faults.periodic.period = a.num("adv-period", 1);
+  if (a.has("adv-last")) base.faults.periodic.last_round = a.num("adv-last", 0);
+  base.faults.periodic.corrupt = a.num("adv-corrupt", 0);
+  base.faults.periodic.value_range = a.num("adv-range", 0);
+  base.faults.periodic.clones = a.num("adv-clones", 0);
+  base.faults.periodic.edge_adds = a.num("adv-eadds", 0);
+  base.faults.periodic.edge_removes = a.num("adv-eremoves", 0);
+  base.faults.periodic.dmax = a.num("adv-dmax", 0);
+  base.faults.recovery_budget = a.num("budget", base.faults.recovery_budget);
+  base.faults.confirm_rounds = a.num("confirm", base.faults.confirm_rounds);
+
+  sched::Campaign c;
+  for (const auto& algo : algos) {
+    if (sched::find_runner(algo) == nullptr) {
+      usage(("unknown algorithm '" + algo + "'").c_str());
+    }
+    for (const auto& spec_str : graph_specs) {
+      const auto spec = graph::GraphSpec::parse(spec_str);
+      for (const auto& seed_str : seed_strs) {
+        sched::JobSpec job = base;
+        job.algorithm = algo;
+        job.graph = spec;
+        job.seed = std::strtoull(seed_str.c_str(), nullptr, 10);
+        if (a.has("plan-out-dir") && job.faults.any()) {
+          char h[24];
+          std::snprintf(h, sizeof h, "%016llx",
+                        static_cast<unsigned long long>(spec.content_hash()));
+          job.faults.plan_out = a.get("plan-out-dir") + "/" + algo + "-" + h +
+                                "-s" + seed_str + ".jsonl";
+        }
+        c.add(std::move(job));
+      }
+    }
+  }
+
+  const std::string text = c.format();
+  if (a.has("out")) {
+    std::ofstream out(a.get("out"));
+    if (!out) usage("cannot open --out file");
+    out << text;
+    std::printf("wrote %zu jobs to %s\n", c.size(), a.get("out").c_str());
+  } else {
+    std::fputs(text.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_ls(const Args& a) {
+  if (!a.has("file")) usage("ls needs --file FILE");
+  const auto c = sched::Campaign::parse_file(a.get("file"));
+  std::printf("# %zu jobs\n", c.size());
+  std::fputs(c.format().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  Args a;
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("options start with --");
+    if (i + 1 >= argc) usage(("missing value for " + key).c_str());
+    a.kv[key.substr(2)] = argv[++i];
+  }
+  try {
+    if (cmd == "grid") return cmd_grid(a);
+    if (cmd == "ls") return cmd_ls(a);
+    usage("unknown command");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

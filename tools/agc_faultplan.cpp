@@ -23,7 +23,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
-#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -32,8 +32,7 @@
 #include "agc/faultlab/harness.hpp"
 #include "agc/faultlab/plan.hpp"
 #include "agc/faultlab/shrink.hpp"
-#include "agc/graph/generators.hpp"
-#include "agc/graph/io.hpp"
+#include "agc/graph/spec.hpp"
 #include "agc/runtime/faults.hpp"
 #include "agc/selfstab/ss_coloring.hpp"
 
@@ -50,34 +49,12 @@ using namespace agc;
   std::exit(2);
 }
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string tok;
-  while (std::getline(ss, tok, sep)) out.push_back(tok);
-  return out;
-}
-
 graph::Graph make_graph(const std::string& spec) {
-  const auto colon = spec.find(':');
-  if (colon == std::string::npos) usage("graph spec needs kind:args");
-  const std::string kind = spec.substr(0, colon);
-  const auto args = split(spec.substr(colon + 1), ',');
-  auto num = [&](std::size_t i) -> std::uint64_t {
-    if (i >= args.size()) usage("missing graph argument");
-    return std::strtoull(args[i].c_str(), nullptr, 10);
-  };
-  auto real = [&](std::size_t i) -> double {
-    if (i >= args.size()) usage("missing graph argument");
-    return std::strtod(args[i].c_str(), nullptr);
-  };
-  if (kind == "file") return graph::read_edge_list_file(spec.substr(colon + 1));
-  if (kind == "gnp") return graph::random_gnp(num(0), real(1), num(2));
-  if (kind == "regular") return graph::random_regular(num(0), num(1), num(2));
-  if (kind == "grid") return graph::grid(num(0), num(1));
-  if (kind == "cycle") return graph::cycle(num(0));
-  if (kind == "path") return graph::path(num(0));
-  usage("unknown graph kind");
+  try {
+    return graph::GraphSpec::parse(spec).build();
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
 }
 
 struct Args {

@@ -358,12 +358,25 @@ constexpr MetricSpec kKnownMetrics[] = {
     {"wall_s", -1},
 };
 
+// Structural row identity: benches tag rows with the canonical GraphSpec
+// string and thread count (bench_util.hpp), so the key composes every
+// identifying field present instead of relying on positional order.
 std::string row_key(const JsonObject& row) {
-  if (auto name = get_string(row, "name")) return *name;
+  std::string key;
+  auto append = [&](const std::string& part) {
+    if (part.empty()) return;
+    if (!key.empty()) key += '|';
+    key += part;
+  };
+  if (auto name = get_string(row, "name")) append(*name);
+  if (auto graph = get_string(row, "graph")) append(*graph);
   if (auto delta = get_number(row, "delta")) {
-    return "delta=" + std::to_string(static_cast<long long>(*delta));
+    append("delta=" + std::to_string(static_cast<long long>(*delta)));
   }
-  return {};
+  if (auto threads = get_number(row, "threads")) {
+    append("t" + std::to_string(static_cast<long long>(*threads)));
+  }
+  return key;
 }
 
 JsonValue load_json_file(const std::string& path) {

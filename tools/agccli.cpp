@@ -26,14 +26,26 @@
 //                  `agc-trace dump|summary FILE` (docs/OBSERVABILITY.md)
 //   --phases       collect per-phase timings and print the telemetry summary
 //   agccli gen      --graph <spec> --out <file>
+//   agccli campaign run --file <grid.campaign> [--threads <n>]
+//                   [--job-threads <m>] [--budget-mb <mb>] [--retries <k>]
+//                   [--out <report.jsonl>] [--timing]
+//   agccli campaign ls  --file <grid.campaign> | --runners
 //
-// Graph specs:
+// Campaigns execute a declarative grid of jobs concurrently with a shared
+// graph cache and deterministic job-id-order aggregation (docs/SCHED.md);
+// author grids with `agc-campaign grid`.  Without --timing the report JSONL
+// is bit-identical for any --threads value.
+//
+// Graph specs (graph::GraphSpec — positional or named args, canonical form
+// is named, e.g. gnp:n=1000,p=0.01,seed=7):
 //   file:PATH                DIMACS-flavored edge list (see graph/io.hpp)
 //   gnp:N,P,SEED             Erdos-Renyi
 //   regular:N,D,SEED         random D-regular
 //   grid:R,C | cycle:N | path:N | complete:N | star:N | tree:N
 //   geometric:N,RADIUS,SEED  random geometric (unit square)
 //   ba:N,K,SEED              Barabasi-Albert preferential attachment
+//   bipartite:A,B | hypercube:D | multipartite:K,PART
+//   caterpillar:SPINE,LEGS | blowup:LEN,BLOW | bounded:N,DMAX,M,SEED
 
 #include <cstdio>
 #include <cstring>
@@ -42,6 +54,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "agc/arb/eps_coloring.hpp"
 #include "agc/coloring/pipeline.hpp"
@@ -54,8 +67,10 @@
 #include "agc/faultlab/plan.hpp"
 #include "agc/graph/generators.hpp"
 #include "agc/graph/io.hpp"
+#include "agc/graph/spec.hpp"
 #include "agc/runtime/faults.hpp"
 #include "agc/runtime/trace.hpp"
+#include "agc/sched/campaign.hpp"
 #include "agc/selfstab/ss_coloring.hpp"
 
 namespace {
@@ -71,39 +86,12 @@ using namespace agc;
   std::exit(2);
 }
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string tok;
-  while (std::getline(ss, tok, sep)) out.push_back(tok);
-  return out;
-}
-
 graph::Graph make_graph(const std::string& spec) {
-  const auto colon = spec.find(':');
-  if (colon == std::string::npos) usage("graph spec needs kind:args");
-  const std::string kind = spec.substr(0, colon);
-  const auto args = split(spec.substr(colon + 1), ',');
-  auto num = [&](std::size_t i) -> std::uint64_t {
-    if (i >= args.size()) usage("missing graph argument");
-    return std::strtoull(args[i].c_str(), nullptr, 10);
-  };
-  auto real = [&](std::size_t i) -> double {
-    if (i >= args.size()) usage("missing graph argument");
-    return std::strtod(args[i].c_str(), nullptr);
-  };
-  if (kind == "file") return graph::read_edge_list_file(spec.substr(colon + 1));
-  if (kind == "gnp") return graph::random_gnp(num(0), real(1), num(2));
-  if (kind == "regular") return graph::random_regular(num(0), num(1), num(2));
-  if (kind == "grid") return graph::grid(num(0), num(1));
-  if (kind == "cycle") return graph::cycle(num(0));
-  if (kind == "path") return graph::path(num(0));
-  if (kind == "complete") return graph::complete(num(0));
-  if (kind == "star") return graph::star(num(0));
-  if (kind == "tree") return graph::binary_tree(num(0));
-  if (kind == "geometric") return graph::random_geometric(num(0), real(1), num(2));
-  if (kind == "ba") return graph::barabasi_albert(num(0), num(1), num(2));
-  usage("unknown graph kind");
+  try {
+    return graph::GraphSpec::parse(spec).build();
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
 }
 
 struct Args {
@@ -154,20 +142,29 @@ Args parse(int argc, char** argv) {
   if (argc < 2) usage();
   Args a;
   a.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int i = 2;
+  if (a.command == "campaign") {
+    if (argc < 3 || argv[2][0] == '-') usage("campaign needs a subcommand (run|ls)");
+    a.kv["sub"] = argv[2];
+    i = 3;
+  }
+  for (; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage("options start with --");
     key = key.substr(2);
     // Flags without values.
     if (key == "bit-round" || key == "no-exact" || key == "exact" ||
-        key == "phases" || key == "replay") {
+        key == "phases" || key == "replay" || key == "timing" ||
+        key == "runners") {
       a.kv[key] = "1";
       continue;
     }
     if (i + 1 >= argc) usage(("missing value for --" + key).c_str());
     a.kv[key] = argv[++i];
   }
-  if (!a.has("graph") && a.command != "help") usage("--graph is required");
+  if (!a.has("graph") && a.command != "help" && a.command != "campaign") {
+    usage("--graph is required");
+  }
   return a;
 }
 
@@ -443,6 +440,59 @@ int cmd_selfstab(const Args& a) {
   return 0;
 }
 
+/// `agccli campaign run|ls`: execute or inspect a declarative job grid
+/// (docs/SCHED.md).  The report JSONL goes to --out (or stdout) in job-id
+/// order; without --timing it is bit-identical for any --threads value.
+int cmd_campaign(const Args& a) {
+  const std::string sub = a.get("sub");
+  if (sub == "ls" && a.has("runners")) {
+    for (const auto& r : sched::runners()) {
+      std::printf("%-16s %s%s\n", r.name, r.summary,
+                  r.faults ? "  [faults]" : "");
+    }
+    return 0;
+  }
+  if (!a.has("file")) usage("campaign needs --file FILE (or ls --runners)");
+  const auto campaign = sched::Campaign::parse_file(a.get("file"));
+  if (sub == "ls") {
+    std::printf("# %zu jobs\n", campaign.size());
+    std::fputs(campaign.format().c_str(), stdout);
+    return 0;
+  }
+  if (sub != "run") usage("campaign subcommand must be run or ls");
+
+  ObsFlags ob(a);
+  sched::ScheduleOptions so;
+  std::size_t threads = a.has("threads")
+                            ? std::strtoull(a.get("threads").c_str(), nullptr, 10)
+                            : exec::default_threads();
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  so.threads = threads;
+  so.threads_per_job =
+      std::strtoull(a.get("job-threads", "1").c_str(), nullptr, 10);
+  so.memory_budget_bytes =
+      std::strtoull(a.get("budget-mb", "0").c_str(), nullptr, 10) * 1'000'000;
+  so.max_attempts =
+      1 + std::strtoull(a.get("retries", "0").c_str(), nullptr, 10);
+  so.include_timing = a.has("timing");
+  so.sink = ob.sink.get();
+
+  const auto rep = sched::run_campaign(campaign, so);
+  const std::string jsonl = rep.to_jsonl(so.include_timing);
+  if (a.has("out")) {
+    std::ofstream out(a.get("out"));
+    if (!out) usage("cannot open --out file");
+    out << jsonl;
+    std::printf("jobs=%zu ok=%zu cache_hits=%zu cache_misses=%zu retries=%zu "
+                "wall_s=%.3f -> %s\n",
+                rep.jobs.size(), rep.ok_count, rep.cache_hits, rep.cache_misses,
+                rep.retries, rep.wall_ns * 1e-9, a.get("out").c_str());
+  } else {
+    std::fputs(jsonl.c_str(), stdout);
+  }
+  return rep.all_ok() ? 0 : 1;
+}
+
 int cmd_gen(const Args& a) {
   const auto g = make_graph(a.get("graph"));
   if (!a.has("out")) usage("gen needs --out");
@@ -462,6 +512,7 @@ int main(int argc, char** argv) {
     if (a.command == "mis") return cmd_mis(a);
     if (a.command == "match") return cmd_match(a);
     if (a.command == "selfstab") return cmd_selfstab(a);
+    if (a.command == "campaign") return cmd_campaign(a);
     if (a.command == "gen") return cmd_gen(a);
     usage("unknown command");
   } catch (const std::exception& e) {
