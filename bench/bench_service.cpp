@@ -1,0 +1,109 @@
+// bench_service — the serving benchmark for the coloring service (ROADMAP
+// item 2; docs/SERVICE.md).  Drives one Service with a seeded YCSB-style
+// workload of >= 100k mutations plus queries, closed-loop, and reports the
+// serving metrics the perf gate tracks: sustained mutations/s, p50/p99
+// mutation-to-legal-color latency, and the mean adjustment-set size per
+// epoch (the incremental-recoloring win the paper's adjustment-radius-1
+// theorem buys).
+//
+// Exit is nonzero if any op was rejected (the eager-mirror workload
+// guarantees none) or any epoch failed to reach a legal coloring — so the
+// benchmark is also the end-to-end correctness run for the service under
+// sustained churn.  The committed artifact is BENCH_service.json; CI gates
+// p99_latency_us and mutations_per_sec against it (agc-trace diff).
+
+#include <cstdio>
+
+#include "agc/svc/service.hpp"
+#include "agc/svc/workload.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace agc;
+
+struct Case {
+  const char* graph;
+  std::uint64_t ops;
+  std::size_t batch;
+};
+
+int run_case(const Case& c, const benchutil::Options& opts,
+             benchutil::JsonEmitter& json, benchutil::Table& table) {
+  svc::ServiceConfig cfg;
+  cfg.spec = graph::GraphSpec::parse(c.graph);
+  cfg.epoch_batch = c.batch;
+  cfg.run.executor = opts.executor();
+  svc::Service service(cfg);
+
+  svc::WorkloadSpec ws;
+  ws.seed = 42;
+  ws.ops = c.ops;
+  ws.clients = c.batch;
+
+  const benchutil::WallClock clock;
+  const auto rep = svc::run_workload(service, ws);
+  const double wall_s = clock.seconds();
+  const auto& st = service.stats();
+
+  const double mut_per_sec = wall_s > 0.0 ? st.mutations / wall_s : 0.0;
+  table.add_row({cfg.spec.to_string(), benchutil::num(st.ops),
+                 benchutil::num(st.mutations), benchutil::num(st.epochs),
+                 benchutil::num(st.latency_rounds.quantile(0.5)),
+                 benchutil::num(st.latency_rounds.quantile(0.99)),
+                 benchutil::num(st.latency_us.quantile(0.5)),
+                 benchutil::num(st.latency_us.quantile(0.99)),
+                 benchutil::num(st.mean_adjusted()),
+                 benchutil::num(mut_per_sec), benchutil::num(wall_s)});
+  json.row(cfg.spec.to_string())
+      .kv("name", std::string("service_workload"))
+      .kv("ops", st.ops)
+      .kv("mutations", st.mutations)
+      .kv("queries", st.queries)
+      .kv("epochs", st.epochs)
+      .kv("repair_rounds", st.repair_rounds)
+      .kv("mean_adjusted", st.mean_adjusted())
+      .kv("latency_rounds_p50", st.latency_rounds.quantile(0.5))
+      .kv("latency_rounds_p99", st.latency_rounds.quantile(0.99))
+      .kv("p50_latency_us", st.latency_us.quantile(0.5))
+      .kv("p99_latency_us", st.latency_us.quantile(0.99))
+      .kv("mutations_per_sec", mut_per_sec)
+      .kv("wall_s", wall_s);
+
+  if (rep.rejected != 0) {
+    std::fprintf(stderr, "FAIL %s: %llu rejected ops (mirror drift)\n",
+                 c.graph, static_cast<unsigned long long>(rep.rejected));
+    return 1;
+  }
+  if (st.legality_violations != 0) {
+    std::fprintf(stderr, "FAIL %s: %llu epochs never reached legality\n",
+                 c.graph, static_cast<unsigned long long>(st.legality_violations));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = benchutil::parse_options(argc, argv);
+  benchutil::JsonEmitter json("service", opts.threads);
+  benchutil::Table table({"graph", "ops", "mutations", "epochs", "p50_rnd",
+                          "p99_rnd", "p50_us", "p99_us", "mean_adj", "mut/s",
+                          "wall_s"});
+
+  // One small warm case (fast signal when something is broken) plus the
+  // acceptance case: >= 100k mutations under sustained churn.
+  const Case cases[] = {
+      {"regular:400,8,7", 20'000, 128},
+      {"gnp:4000,0.002,11", 160'000, 256},
+  };
+  int rc = 0;
+  for (const Case& c : cases) rc |= run_case(c, opts, json, table);
+
+  std::printf("\nservice workload (seed 42, closed-loop, threads=%zu)\n\n",
+              opts.threads);
+  table.print();
+  json.write(opts.json_path);
+  return rc;
+}

@@ -97,6 +97,25 @@ struct StabilizationOutcome : runtime::RunReport {
     runtime::Engine& engine, const runtime::RunOptions& opts,
     const StabilizationSpec& spec);
 
+/// Incremental repair: phase 1 of the protocol alone, started from the
+/// engine's *current* (possibly illegal) state with no fault-free settle
+/// phase.  This is the entry a long-lived service calls once per mutation
+/// epoch — mutate the live engine, then resettle() to drive it back to a
+/// legal configuration without paying a from-scratch settle (src/svc).
+///
+/// `baseline` supplies the pre-mutation output snapshot the adjustment diff
+/// is computed against (capture spec.outputs(engine) *before* mutating; an
+/// empty baseline counts every vertex as adjusted).  The recovery clock is
+/// anchored at the call: when the state is already legal on entry the run
+/// recovers in 0 rounds after the confirm window.  opts.adversary /
+/// opts.channel stay live exactly as in run_stabilization's phase 1, and
+/// opts.collect_phase_times folds the engine's per-shard phase timers into
+/// the outcome like every other run_* entry point.
+[[nodiscard]] StabilizationOutcome resettle(
+    runtime::Engine& engine, const runtime::RunOptions& opts,
+    const StabilizationSpec& spec,
+    const std::vector<std::uint64_t>& baseline);
+
 /// Legality check for the self-stabilizing coloring: every color in the
 /// final palette and no monochromatic edge.
 [[nodiscard]] CheckFn coloring_check(const selfstab::SsConfig& cfg);

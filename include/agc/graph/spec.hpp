@@ -48,7 +48,18 @@ class GraphSpec {
   /// Coarse upper bound on the resident bytes of one built graph, from the
   /// parameters alone (no build needed).  The campaign scheduler's memory
   /// budget admits jobs against this estimate (docs/SCHED.md).
-  [[nodiscard]] std::size_t estimated_bytes() const;
+  [[nodiscard]] std::size_t estimated_bytes() const {
+    return estimated_bytes(0, 0);
+  }
+
+  /// The same bound with vertex/edge churn headroom: a long-lived consumer
+  /// that mutates its copy of the graph (the agcd service, docs/SERVICE.md)
+  /// sizes its arena and admission against the graph it may *grow into*, not
+  /// the one the spec builds.  Churn never changes the spec itself —
+  /// to_string()/content_hash() describe the initial graph only, so cache
+  /// keys stay valid however the built copy is mutated afterwards.
+  [[nodiscard]] std::size_t estimated_bytes(std::uint64_t extra_vertices,
+                                            std::uint64_t extra_edges) const;
 
   [[nodiscard]] const std::string& kind() const noexcept { return kind_; }
 

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "agc/svc/service.hpp"
+
+/// \file wire.hpp
+/// The agcd wire protocol, split from the socket so every layer is testable
+/// in-process (tests/test_svc.cpp) and the daemon (tools/agcd.cpp) is a thin
+/// poll loop.
+///
+/// Framing: every message — both directions — is a 4-byte little-endian
+/// length prefix followed by that many bytes of UTF-8 text.  Commands:
+///
+///   add_edge U V      -> "queued N"        (op id; committed on next pump)
+///   remove_edge U V   -> "queued N"
+///   add_vertex        -> "queued N"
+///   remove_vertex V   -> "queued N"
+///   query V           -> "ok C" | "rej"    (drains first: read-your-writes)
+///   pump              -> "pumped N"        (ops committed this drain)
+///   stats             -> ServiceStats JSON (drains first; includes timing)
+///   quit              -> "bye"             (daemon closes the connection)
+///
+/// Mutations only enqueue (one round-trip, no repair on the submit path);
+/// query/stats/pump force the pending epoch(s) to commit, so a client that
+/// wants synchronous semantics follows each mutation with "pump".
+
+namespace agc::svc {
+
+/// Prefix `payload` with its 4-byte little-endian length.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Consume one complete frame from the front of `buffer` into `payload`.
+/// Returns false (and leaves both untouched) while the frame is incomplete.
+[[nodiscard]] bool decode_frame(std::string& buffer, std::string& payload);
+
+/// Execute one command line against the service and return the reply
+/// payload (unframed).  Unknown/malformed commands reply "err <reason>".
+[[nodiscard]] std::string handle_command(Service& svc, std::string_view line);
+
+/// True when the command asks the daemon to close this connection ("quit").
+[[nodiscard]] bool is_quit(std::string_view line);
+
+}  // namespace agc::svc

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "agc/svc/service.hpp"
+
+/// \file workload.hpp
+/// A YCSB-style client workload for the coloring service: a seeded operation
+/// mix (parts-per-million per kind, remainder queries) driven closed-loop —
+/// each simulated client keeps one op in flight, so `clients` ops are
+/// submitted per epoch and the driver waits for the epoch to commit before
+/// submitting more.
+///
+/// The generator is an *eager mirror*: it maintains its own copy of the
+/// service's graph/liveness state and applies every op it emits under the
+/// same validation rules the service enforces (degree cap, vertex cap,
+/// duplicate edges, retired vertices).  Every generated op is therefore
+/// valid by construction — a seeded run completes with zero rejects, and
+/// generation never needs result feedback, which keeps the op stream a pure
+/// function of (spec, seed) and the whole run deterministic
+/// (tests/test_svc.cpp pins seed reproducibility and 1/2/8-thread identity).
+
+namespace agc::svc {
+
+struct WorkloadSpec {
+  std::uint64_t seed = 1;
+  std::uint64_t ops = 100'000;
+  /// Operation mix in parts-per-million; the remainder to 1'000'000 is
+  /// QueryColor.  A kind whose precondition cannot be met (graph full, no
+  /// removable edge, ...) degrades to a query for that draw.
+  std::uint32_t add_edge_ppm = 350'000;
+  std::uint32_t remove_edge_ppm = 250'000;
+  std::uint32_t add_vertex_ppm = 20'000;
+  std::uint32_t remove_vertex_ppm = 30'000;
+  /// Closed-loop client count: ops submitted per driver iteration before
+  /// waiting for the service to commit them.
+  std::size_t clients = 64;
+};
+
+class Workload {
+ public:
+  /// Mirrors `svc`'s current graph, liveness and caps.  The service must not
+  /// be mutated behind the workload's back afterwards (ops generated here
+  /// and submitted in order are the only traffic).
+  Workload(const Service& svc, const WorkloadSpec& spec);
+
+  /// The next valid op.  Pure function of construction state and call count.
+  [[nodiscard]] Op next();
+
+  [[nodiscard]] std::uint64_t generated() const noexcept { return count_; }
+
+ private:
+  [[nodiscard]] std::uint64_t rnd();  ///< splitmix64 draw
+
+  WorkloadSpec spec_;
+  std::size_t delta_bound_;
+  std::uint64_t max_vertices_;
+  std::uint64_t state_;  ///< rng state
+  std::uint64_t count_ = 0;
+
+  // Mirror of the service-side graph: adjacency + degree + liveness, plus a
+  // dense edge list for O(1) uniform removal draws.
+  std::vector<std::set<graph::Vertex>> adj_;
+  std::vector<bool> live_;
+  std::vector<graph::Vertex> live_list_;  ///< compact list of live vertices
+  std::vector<std::size_t> live_pos_;     ///< vertex -> index in live_list_
+  std::vector<std::pair<graph::Vertex, graph::Vertex>> edges_;
+
+  void apply_mirror(const Op& op);
+  [[nodiscard]] bool try_add_edge(Op& op);
+  [[nodiscard]] bool try_remove_edge(Op& op);
+  [[nodiscard]] bool try_remove_vertex(Op& op);
+  [[nodiscard]] Op make_query();
+};
+
+struct WorkloadReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t mutations = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t rejected = 0;  ///< eager mirror: 0 on every seeded run
+};
+
+/// Drive `svc` with `spec.ops` generated ops, closed-loop: submit
+/// `spec.clients` ops, drain, repeat.  Returns the client-side tally; the
+/// service's own stats() carries the latency/adjustment aggregate.
+WorkloadReport run_workload(Service& svc, const WorkloadSpec& spec);
+
+}  // namespace agc::svc

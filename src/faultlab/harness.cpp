@@ -23,61 +23,41 @@ void emit_fault(const RunOptions& opts, const Engine& engine, const char* label,
   opts.sink->emit(ev);
 }
 
-}  // namespace
-
-const char* to_string(ViolationKind k) noexcept {
-  switch (k) {
-    case ViolationKind::None: return "none";
-    case ViolationKind::MonochromaticEdge: return "monochromatic_edge";
-    case ViolationKind::OutOfPalette: return "out_of_palette";
-    case ViolationKind::InvalidState: return "invalid_state";
-    case ViolationKind::NeverSettled: return "never_settled";
-  }
-  return "?";
-}
-
-StabilizationOutcome run_stabilization(Engine& engine, const RunOptions& opts,
-                                       const StabilizationSpec& spec) {
-  const std::uint64_t t0 = obs::monotonic_ns();
-  StabilizationOutcome out;
-  const runtime::Metrics before = engine.metrics();
-  const std::size_t settle_budget =
-      spec.settle_budget != 0 ? spec.settle_budget : spec.recovery_budget;
-
-  // --- Phase 0: fault-free fixed point ------------------------------------
-  std::size_t executed = 0;
-  Violation v = spec.check(engine);
-  while (v && executed < settle_budget && executed < opts.max_rounds) {
-    engine.step();
-    ++executed;
-    v = spec.check(engine);
-  }
-  if (v) {
-    out.violation = v;
-    out.violation.kind = ViolationKind::NeverSettled;
-    out.violation.round = engine.rounds();
-    out.rounds = executed;
-    out.wall_ns = obs::monotonic_ns() - t0;
-    return out;
-  }
-  const std::vector<std::uint64_t> baseline = spec.outputs(engine);
-
-  // --- Phase 1: fault schedule + recovery, under the watchdog -------------
+/// Phase 1 of the protocol: drive the engine from its current state (legal or
+/// not — `initially_legal` says which, sparing a redundant check when phase 0
+/// just certified legality) until the check holds for confirm_rounds
+/// consecutive rounds, with the RunOptions fault hooks live and the watchdog
+/// armed.  Fills everything in `out` except the settle bookkeeping; `executed`
+/// counts engine rounds already spent against opts.max_rounds.
+/// `attach_obs` additionally wires opts.sink / phase timers into the engine
+/// for the duration (resettle does; run_stabilization keeps its historical
+/// fault-events-only sink stream).
+void repair_until_legal(Engine& engine, const RunOptions& opts,
+                        const StabilizationSpec& spec,
+                        const std::vector<std::uint64_t>& baseline,
+                        bool initially_legal, bool attach_obs,
+                        std::size_t executed, StabilizationOutcome& out) {
+  obs::PhaseProfile profile;
+  obs::PhaseProfile* const prev_profile = engine.profile();
+  if (attach_obs && opts.collect_phase_times) engine.set_profile(&profile);
+  obs::EventSink* const prev_sink = engine.sink();
+  if (attach_obs && opts.sink != nullptr) engine.set_sink(opts.sink);
   runtime::ChannelHook* const prev_channel = engine.channel();
   if (opts.channel != nullptr) engine.set_channel(opts.channel);
   std::uint64_t channel_seen =
       opts.channel != nullptr ? opts.channel->events() : 0;
 
-  // The pre-fault fixed point anchors the clocks: a run with an empty
-  // schedule recovers in 0 rounds.
+  // The entry state anchors the clocks: an already-legal configuration with
+  // an empty fault schedule recovers in 0 rounds.
   out.last_fault_round = engine.rounds();
   out.first_legal_round = engine.rounds();
-  bool legal = true;  // phase 0 just certified it
+  bool legal = initially_legal;
+  Violation v;
   std::size_t confirmed = 0;
-  out.recovered = spec.confirm_rounds == 0;
+  out.recovered = legal && spec.confirm_rounds == 0;
 
-  // The adversary's schedule is relative to the START of the fault phase, not
-  // to engine round 0 — phase 0's settle length must not eat the schedule.
+  // The adversary's schedule is relative to the start of the fault phase, not
+  // to engine round 0 — a settle phase's length must not eat the schedule.
   std::size_t fault_round = 0;
   while (!out.recovered && executed < opts.max_rounds) {
     engine.step();
@@ -147,8 +127,76 @@ StabilizationOutcome run_stabilization(Engine& engine, const RunOptions& opts,
   }
 
   if (opts.channel != nullptr) engine.set_channel(prev_channel);
+  if (attach_obs && opts.sink != nullptr) engine.set_sink(prev_sink);
+  if (attach_obs && opts.collect_phase_times) {
+    engine.set_profile(prev_profile);
+    out.phases = profile.folded();
+  }
   out.rounds = executed;
   out.converged = out.recovered;
+}
+
+}  // namespace
+
+const char* to_string(ViolationKind k) noexcept {
+  switch (k) {
+    case ViolationKind::None: return "none";
+    case ViolationKind::MonochromaticEdge: return "monochromatic_edge";
+    case ViolationKind::OutOfPalette: return "out_of_palette";
+    case ViolationKind::InvalidState: return "invalid_state";
+    case ViolationKind::NeverSettled: return "never_settled";
+  }
+  return "?";
+}
+
+StabilizationOutcome run_stabilization(Engine& engine, const RunOptions& opts,
+                                       const StabilizationSpec& spec) {
+  const std::uint64_t t0 = obs::monotonic_ns();
+  StabilizationOutcome out;
+  const runtime::Metrics before = engine.metrics();
+  const std::size_t settle_budget =
+      spec.settle_budget != 0 ? spec.settle_budget : spec.recovery_budget;
+
+  // --- Phase 0: fault-free fixed point ------------------------------------
+  std::size_t executed = 0;
+  Violation v = spec.check(engine);
+  while (v && executed < settle_budget && executed < opts.max_rounds) {
+    engine.step();
+    ++executed;
+    v = spec.check(engine);
+  }
+  if (v) {
+    out.violation = v;
+    out.violation.kind = ViolationKind::NeverSettled;
+    out.violation.round = engine.rounds();
+    out.rounds = executed;
+    out.wall_ns = obs::monotonic_ns() - t0;
+    return out;
+  }
+  const std::vector<std::uint64_t> baseline = spec.outputs(engine);
+
+  // --- Phase 1: fault schedule + recovery, under the watchdog -------------
+  repair_until_legal(engine, opts, spec, baseline, /*initially_legal=*/true,
+                     /*attach_obs=*/false, executed, out);
+
+  const runtime::Metrics after_m = engine.metrics();
+  out.metrics.rounds = after_m.rounds - before.rounds;
+  out.metrics.messages = after_m.messages - before.messages;
+  out.metrics.total_bits = after_m.total_bits - before.total_bits;
+  out.metrics.max_edge_bits = after_m.max_edge_bits;
+  out.wall_ns = obs::monotonic_ns() - t0;
+  return out;
+}
+
+StabilizationOutcome resettle(Engine& engine, const RunOptions& opts,
+                              const StabilizationSpec& spec,
+                              const std::vector<std::uint64_t>& baseline) {
+  const std::uint64_t t0 = obs::monotonic_ns();
+  StabilizationOutcome out;
+  const runtime::Metrics before = engine.metrics();
+  const bool legal_now = !spec.check(engine);
+  repair_until_legal(engine, opts, spec, baseline, legal_now,
+                     /*attach_obs=*/true, /*executed=*/0, out);
   const runtime::Metrics after_m = engine.metrics();
   out.metrics.rounds = after_m.rounds - before.rounds;
   out.metrics.messages = after_m.messages - before.messages;

@@ -225,7 +225,8 @@ Graph GraphSpec::build() const {
   throw std::invalid_argument("GraphSpec::build: unknown kind '" + kind_ + "'");
 }
 
-std::size_t GraphSpec::estimated_bytes() const {
+std::size_t GraphSpec::estimated_bytes(std::uint64_t extra_vertices,
+                                       std::uint64_t extra_edges) const {
   // n and an expected edge count per kind; the constant per vertex/edge is
   // deliberately generous (adjacency entry + CSR mirror + engine copy).
   auto nm = [&]() -> std::pair<std::uint64_t, std::uint64_t> {
@@ -255,7 +256,8 @@ std::size_t GraphSpec::estimated_bytes() const {
     if (kind_ == "bounded") return {num("n"), num("m")};
     return {1 << 16, 1 << 18};  // file: and anything unknown — a safe default
   }();
-  return 64 * (nm.first + 1) + 16 * (nm.second + 1);
+  return 64 * (nm.first + extra_vertices + 1) +
+         16 * (nm.second + extra_edges + 1);
 }
 
 }  // namespace agc::graph

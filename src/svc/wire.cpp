@@ -1,0 +1,122 @@
+#include "agc/svc/wire.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+namespace agc::svc {
+
+namespace {
+
+/// Split on single spaces; no quoting in this protocol.
+std::vector<std::string_view> tokens(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const auto pos = line.find(' ', start);
+    if (pos == std::string_view::npos) {
+      if (start < line.size()) out.push_back(line.substr(start));
+      break;
+    }
+    if (pos > start) out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::optional<graph::Vertex> parse_vertex(std::string_view text) {
+  graph::Vertex v = 0;
+  if (text.empty()) return std::nullopt;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<graph::Vertex>(c - '0');
+  }
+  return v;
+}
+
+std::string queued(Service& svc, const Op& op) {
+  return "queued " + std::to_string(svc.submit(op));
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>(len & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.append(payload);
+  return out;
+}
+
+bool decode_frame(std::string& buffer, std::string& payload) {
+  if (buffer.size() < 4) return false;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer[i]));
+  };
+  const std::uint32_t len = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (buffer.size() < 4 + static_cast<std::size_t>(len)) return false;
+  payload.assign(buffer, 4, len);
+  buffer.erase(0, 4 + static_cast<std::size_t>(len));
+  return true;
+}
+
+bool is_quit(std::string_view line) { return line == "quit"; }
+
+std::string handle_command(Service& svc, std::string_view line) {
+  const auto tok = tokens(line);
+  if (tok.empty()) return "err empty";
+  const std::string_view cmd = tok[0];
+
+  if (cmd == "quit") return "bye";
+
+  if (cmd == "pump") {
+    return "pumped " + std::to_string(svc.drain().size());
+  }
+
+  if (cmd == "stats") {
+    (void)svc.drain();
+    return svc.stats().to_json(/*include_timing=*/true);
+  }
+
+  if (cmd == "add_vertex") {
+    return queued(svc, Op{OpKind::AddVertex, 0, 0});
+  }
+
+  if (cmd == "add_edge" || cmd == "remove_edge") {
+    if (tok.size() != 3) return "err usage: " + std::string(cmd) + " U V";
+    const auto u = parse_vertex(tok[1]);
+    const auto v = parse_vertex(tok[2]);
+    if (!u || !v) return "err bad vertex";
+    const OpKind kind =
+        cmd == "add_edge" ? OpKind::AddEdge : OpKind::RemoveEdge;
+    return queued(svc, Op{kind, *u, *v});
+  }
+
+  if (cmd == "remove_vertex") {
+    if (tok.size() != 2) return "err usage: remove_vertex V";
+    const auto v = parse_vertex(tok[1]);
+    if (!v) return "err bad vertex";
+    return queued(svc, Op{OpKind::RemoveVertex, *v, 0});
+  }
+
+  if (cmd == "query") {
+    if (tok.size() != 2) return "err usage: query V";
+    const auto v = parse_vertex(tok[1]);
+    if (!v) return "err bad vertex";
+    (void)svc.drain();  // read-your-writes: commit pending epochs first
+    const std::uint64_t id = svc.submit(Op{OpKind::QueryColor, *v, 0});
+    for (const OpResult& r : svc.drain()) {
+      if (r.op_id != id) continue;
+      return r.status == OpStatus::Ok ? "ok " + std::to_string(r.value)
+                                      : "rej";
+    }
+    return "err lost";  // unreachable: drain() returns every queued op
+  }
+
+  return "err unknown command";
+}
+
+}  // namespace agc::svc

@@ -1,0 +1,168 @@
+#include "agc/svc/workload.hpp"
+
+#include <algorithm>
+
+namespace agc::svc {
+
+namespace {
+constexpr int kDrawRetries = 64;  ///< uniform draws before degrading to query
+}  // namespace
+
+Workload::Workload(const Service& svc, const WorkloadSpec& spec)
+    : spec_(spec),
+      delta_bound_(svc.config().delta_bound),
+      max_vertices_(svc.config().max_vertices),
+      state_(spec.seed ^ 0x9e3779b97f4a7c15ULL) {
+  const graph::Graph& g = svc.graph();
+  adj_.resize(g.n());
+  live_.resize(g.n());
+  live_pos_.assign(g.n(), 0);
+  for (graph::Vertex v = 0; v < g.n(); ++v) {
+    live_[v] = svc.live(v);
+    if (live_[v]) {
+      live_pos_[v] = live_list_.size();
+      live_list_.push_back(v);
+    }
+    for (const graph::Vertex w : g.neighbors(v)) {
+      adj_[v].insert(w);
+      if (v < w) edges_.emplace_back(v, w);
+    }
+  }
+}
+
+std::uint64_t Workload::rnd() {
+  // splitmix64 — the repo's generator idiom for seeded fixtures.
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void Workload::apply_mirror(const Op& op) {
+  switch (op.kind) {
+    case OpKind::AddEdge:
+      adj_[op.u].insert(op.v);
+      adj_[op.v].insert(op.u);
+      edges_.emplace_back(std::min(op.u, op.v), std::max(op.u, op.v));
+      break;
+    case OpKind::RemoveEdge: {
+      adj_[op.u].erase(op.v);
+      adj_[op.v].erase(op.u);
+      const auto key = std::make_pair(std::min(op.u, op.v),
+                                      std::max(op.u, op.v));
+      const auto it = std::find(edges_.begin(), edges_.end(), key);
+      *it = edges_.back();
+      edges_.pop_back();
+      break;
+    }
+    case OpKind::AddVertex: {
+      const graph::Vertex v = static_cast<graph::Vertex>(adj_.size());
+      adj_.emplace_back();
+      live_.push_back(true);
+      live_pos_.push_back(live_list_.size());
+      live_list_.push_back(v);
+      break;
+    }
+    case OpKind::RemoveVertex: {
+      // Drop the vertex's edges too — the service's reset_vertex isolates.
+      for (const graph::Vertex w : adj_[op.u]) {
+        adj_[w].erase(op.u);
+        const auto key =
+            std::make_pair(std::min(op.u, w), std::max(op.u, w));
+        const auto it = std::find(edges_.begin(), edges_.end(), key);
+        *it = edges_.back();
+        edges_.pop_back();
+      }
+      adj_[op.u].clear();
+      live_[op.u] = false;
+      const std::size_t pos = live_pos_[op.u];
+      live_list_[pos] = live_list_.back();
+      live_pos_[live_list_[pos]] = pos;
+      live_list_.pop_back();
+      break;
+    }
+    case OpKind::QueryColor:
+      break;
+  }
+}
+
+bool Workload::try_add_edge(Op& op) {
+  if (live_list_.size() < 2) return false;
+  for (int i = 0; i < kDrawRetries; ++i) {
+    const graph::Vertex u = live_list_[rnd() % live_list_.size()];
+    const graph::Vertex v = live_list_[rnd() % live_list_.size()];
+    if (u == v || adj_[u].count(v) != 0) continue;
+    if (adj_[u].size() >= delta_bound_ || adj_[v].size() >= delta_bound_) {
+      continue;
+    }
+    op = {OpKind::AddEdge, u, v};
+    return true;
+  }
+  return false;
+}
+
+bool Workload::try_remove_edge(Op& op) {
+  if (edges_.empty()) return false;
+  const auto [u, v] = edges_[rnd() % edges_.size()];
+  op = {OpKind::RemoveEdge, u, v};
+  return true;
+}
+
+bool Workload::try_remove_vertex(Op& op) {
+  // Keep the graph populated: never retire below half the initial live set.
+  if (live_list_.size() < 2 || live_list_.size() * 2 < adj_.size()) {
+    return false;
+  }
+  op = {OpKind::RemoveVertex, live_list_[rnd() % live_list_.size()], 0};
+  return true;
+}
+
+Op Workload::make_query() {
+  // live_list_ is never empty: remove_vertex keeps >= 1 live vertex.
+  return {OpKind::QueryColor, live_list_[rnd() % live_list_.size()], 0};
+}
+
+Op Workload::next() {
+  ++count_;
+  const std::uint64_t draw = rnd() % 1'000'000;
+  Op op;
+  std::uint64_t edge = spec_.add_edge_ppm;
+  if (draw < edge && try_add_edge(op)) return apply_mirror(op), op;
+  edge += spec_.remove_edge_ppm;
+  if (draw < edge && try_remove_edge(op)) return apply_mirror(op), op;
+  edge += spec_.add_vertex_ppm;
+  if (draw < edge && adj_.size() < max_vertices_) {
+    op = {OpKind::AddVertex, 0, 0};
+    return apply_mirror(op), op;
+  }
+  edge += spec_.remove_vertex_ppm;
+  if (draw < edge && try_remove_vertex(op)) return apply_mirror(op), op;
+  return make_query();
+}
+
+WorkloadReport run_workload(Service& svc, const WorkloadSpec& spec) {
+  Workload gen(svc, spec);
+  WorkloadReport rep;
+  const std::size_t clients = std::max<std::size_t>(1, spec.clients);
+  while (rep.submitted < spec.ops) {
+    const std::size_t burst = static_cast<std::size_t>(
+        std::min<std::uint64_t>(clients, spec.ops - rep.submitted));
+    for (std::size_t i = 0; i < burst; ++i) {
+      svc.submit(gen.next());
+      ++rep.submitted;
+    }
+    for (const OpResult& r : svc.drain()) {
+      ++rep.completed;
+      if (r.status == OpStatus::Rejected) {
+        ++rep.rejected;
+      } else if (r.kind == OpKind::QueryColor) {
+        ++rep.queries;
+      } else {
+        ++rep.mutations;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace agc::svc

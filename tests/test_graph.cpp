@@ -9,6 +9,7 @@
 #include "agc/graph/generators.hpp"
 #include "agc/graph/line_graph.hpp"
 #include "agc/graph/orientation.hpp"
+#include "agc/graph/spec.hpp"
 
 namespace {
 
@@ -210,6 +211,63 @@ TEST(OrientationTest, ArbdefectWitnessConsistency) {
   if (cd > 0) {
     EXPECT_FALSE(is_arbdefective_coloring(g, classes, (cd + 1) / 2 - 1));
   }
+}
+
+// Long-lived consumers (the agcd service) key caches and snapshots on the
+// topology version, so churn that re-creates the same edge must never reuse
+// a version number.
+TEST(GraphCore, TopologyVersionMonotoneUnderChurn) {
+  Graph g(4);
+  const std::uint64_t v0 = g.topology_version();
+  std::uint64_t last = v0;
+  // The same edge added and removed repeatedly: every successful mutation
+  // bumps, and no version ever repeats even though the topology does.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(g.add_edge(1, 2));
+    EXPECT_GT(g.topology_version(), last);
+    last = g.topology_version();
+    ASSERT_TRUE(g.remove_edge(1, 2));
+    EXPECT_GT(g.topology_version(), last);
+    last = g.topology_version();
+  }
+  EXPECT_EQ(last, v0 + 6);
+}
+
+TEST(GraphCore, TopologyVersionIgnoresFailedOps) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const std::uint64_t v = g.topology_version();
+  EXPECT_FALSE(g.add_edge(0, 1));     // duplicate
+  EXPECT_FALSE(g.add_edge(2, 2));     // self-loop
+  EXPECT_FALSE(g.remove_edge(1, 3));  // absent
+  EXPECT_EQ(g.topology_version(), v);
+  g.isolate(3);  // already isolated: removes nothing
+  EXPECT_EQ(g.topology_version(), v);
+  g.isolate(0);  // drops {0,1}
+  EXPECT_GT(g.topology_version(), v);
+  const std::uint64_t w = g.topology_version();
+  EXPECT_EQ(g.add_vertex(), 4u);
+  EXPECT_GT(g.topology_version(), w);
+}
+
+// GraphSpec churn headroom: the estimate grows monotonically with the extra
+// vertices/edges a service may grow into, while the spec's identity —
+// canonical spelling and content hash — never budges.
+TEST(SpecTest, EstimatedBytesChurnHeadroom) {
+  const auto spec = GraphSpec::parse("gnp:1000,0.01,7");
+  const auto base = spec.estimated_bytes();
+  EXPECT_EQ(base, spec.estimated_bytes(0, 0));
+  EXPECT_GT(spec.estimated_bytes(100, 0), base);
+  EXPECT_GT(spec.estimated_bytes(0, 1000), base);
+  EXPECT_GT(spec.estimated_bytes(100, 1000), spec.estimated_bytes(100, 0));
+  // Headroom is linear in the declared per-vertex/per-edge constants.
+  EXPECT_EQ(spec.estimated_bytes(10, 20) - base, 10 * 64 + 20 * 16);
+
+  const auto canon = spec.to_string();
+  const auto hash = spec.content_hash();
+  (void)spec.estimated_bytes(1 << 20, 1 << 20);
+  EXPECT_EQ(spec.to_string(), canon);
+  EXPECT_EQ(spec.content_hash(), hash);
 }
 
 }  // namespace

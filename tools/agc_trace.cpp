@@ -356,6 +356,9 @@ constexpr MetricSpec kKnownMetrics[] = {
     {"rounds_per_sec", +1}, {"items_per_second", +1},
     {"real_time_per_iter_s", -1}, {"cpu_time_per_iter_s", -1},
     {"wall_s", -1},
+    // Serving metrics (bench_service / BENCH_service.json): throughput up is
+    // better, latency quantiles down.
+    {"mutations_per_sec", +1}, {"p50_latency_us", -1}, {"p99_latency_us", -1},
 };
 
 // Structural row identity: benches tag rows with the canonical GraphSpec

@@ -26,6 +26,16 @@
 //                  `agc-trace dump|summary FILE` (docs/OBSERVABILITY.md)
 //   --phases       collect per-phase timings and print the telemetry summary
 //   agccli gen      --graph <spec> --out <file>
+//   agccli svc      --graph <spec> [--ops <n>] [--seed <s>] [--clients <c>]
+//                   [--batch <b>] [--dmax <d>] [--max-vertices <m>] [--exact]
+//                   [--threads <n>] [--json] [--timing]
+//
+// `svc` runs the coloring service in-process against a seeded YCSB-style
+// client workload (mutations + queries batched into epochs, incremental
+// recoloring per epoch; docs/SERVICE.md) and prints the latency/adjustment
+// aggregate.  --json emits ServiceStats JSON (deterministic unless --timing);
+// the socket daemon for real clients is `agcd`.
+//
 //   agccli campaign run --file <grid.campaign> [--threads <n>]
 //                   [--job-threads <m>] [--budget-mb <mb>] [--retries <k>]
 //                   [--out <report.jsonl>] [--timing]
@@ -72,6 +82,8 @@
 #include "agc/runtime/trace.hpp"
 #include "agc/sched/campaign.hpp"
 #include "agc/selfstab/ss_coloring.hpp"
+#include "agc/svc/service.hpp"
+#include "agc/svc/workload.hpp"
 
 namespace {
 
@@ -155,7 +167,7 @@ Args parse(int argc, char** argv) {
     // Flags without values.
     if (key == "bit-round" || key == "no-exact" || key == "exact" ||
         key == "phases" || key == "replay" || key == "timing" ||
-        key == "runners") {
+        key == "runners" || key == "json") {
       a.kv[key] = "1";
       continue;
     }
@@ -493,6 +505,61 @@ int cmd_campaign(const Args& a) {
   return rep.all_ok() ? 0 : 1;
 }
 
+/// `agccli svc`: the in-process service demo — build the service, drive it
+/// with a seeded closed-loop workload, print the aggregate.  Exit 0 only if
+/// every op was accepted (eager-mirror contract) and every epoch recolored
+/// to a legal configuration.
+int cmd_svc(const Args& a) {
+  ObsFlags ob(a);
+  svc::ServiceConfig cfg;
+  try {
+    cfg.spec = graph::GraphSpec::parse(a.get("graph"));
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+  cfg.delta_bound = std::strtoull(a.get("dmax", "0").c_str(), nullptr, 10);
+  cfg.max_vertices =
+      std::strtoull(a.get("max-vertices", "0").c_str(), nullptr, 10);
+  cfg.mode = a.has("exact") ? selfstab::PaletteMode::ExactDeltaPlusOne
+                            : selfstab::PaletteMode::ODelta;
+  cfg.epoch_batch = std::strtoull(a.get("batch", "64").c_str(), nullptr, 10);
+  cfg.run.executor = a.executor();
+  ob.apply(cfg.run);
+  svc::Service service(cfg);
+
+  svc::WorkloadSpec ws;
+  ws.seed = std::strtoull(a.get("seed", "1").c_str(), nullptr, 10);
+  ws.ops = std::strtoull(a.get("ops", "20000").c_str(), nullptr, 10);
+  ws.clients = std::strtoull(a.get("clients", "64").c_str(), nullptr, 10);
+  const auto rep = svc::run_workload(service, ws);
+  const auto& st = service.stats();
+
+  std::printf("graph=%s dmax=%zu max_vertices=%llu batch=%zu\n",
+              cfg.spec.to_string().c_str(), service.config().delta_bound,
+              static_cast<unsigned long long>(service.config().max_vertices),
+              service.config().epoch_batch);
+  std::printf("ops=%llu mutations=%llu queries=%llu rejected=%llu "
+              "epochs=%llu\n",
+              static_cast<unsigned long long>(st.ops),
+              static_cast<unsigned long long>(st.mutations),
+              static_cast<unsigned long long>(st.queries),
+              static_cast<unsigned long long>(st.rejected),
+              static_cast<unsigned long long>(st.epochs));
+  std::printf("latency_rounds p50=%llu p99=%llu max=%llu  adjusted "
+              "mean=%.2f max=%llu  violations=%llu\n",
+              static_cast<unsigned long long>(st.latency_rounds.quantile(0.5)),
+              static_cast<unsigned long long>(st.latency_rounds.quantile(0.99)),
+              static_cast<unsigned long long>(st.latency_rounds.max()),
+              st.mean_adjusted(),
+              static_cast<unsigned long long>(st.max_adjusted),
+              static_cast<unsigned long long>(st.legality_violations));
+  if (a.has("json")) {
+    std::puts(st.to_json(a.has("timing")).c_str());
+  }
+  ob.report(service.report());
+  return rep.rejected == 0 && st.legality_violations == 0 ? 0 : 1;
+}
+
 int cmd_gen(const Args& a) {
   const auto g = make_graph(a.get("graph"));
   if (!a.has("out")) usage("gen needs --out");
@@ -513,6 +580,7 @@ int main(int argc, char** argv) {
     if (a.command == "match") return cmd_match(a);
     if (a.command == "selfstab") return cmd_selfstab(a);
     if (a.command == "campaign") return cmd_campaign(a);
+    if (a.command == "svc") return cmd_svc(a);
     if (a.command == "gen") return cmd_gen(a);
     usage("unknown command");
   } catch (const std::exception& e) {
