@@ -1,0 +1,102 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "agc/exec/thread_pool.hpp"
+#include "agc/runtime/round.hpp"
+
+/// \file async_executor.hpp
+/// The dependency-driven (barrier-free) backend of the round engine.
+///
+/// A locally-iterative algorithm updates vertex v's round-r state from only
+/// its neighbors' round-(r-1) states, so the BSP barrier is stricter than
+/// the model requires: v may fire the moment every in-neighbor's round-r
+/// mailbox is filled.  AsyncExecutor exploits exactly that.  Each shard
+/// walks a work queue of its own vertices; a vertex alternates
+///
+///   send_k  — publish epoch-k messages into the parity-(k&1) mailbox slots,
+///             then advance its atomic sent counter (release) — always
+///             enabled;
+///   recv_k  — deliver-account and run on_receive over the parity-(k&1)
+///             inbox — enabled once every neighbor u has sent_u >= k+1
+///             (acquire) or has halted.
+///
+/// Two mailbox slots per port suffice (MailboxArena two-epoch mode) because
+/// the readiness rule bounds neighboring epochs to differ by at most one.  A
+/// shard whose whole pass fires nothing parks on a condvar (ParkingLot)
+/// instead of spinning.  Per-shard Metrics fold in shard order at the window
+/// end, so all results — states, messages, total_bits, max_edge_bits — are
+/// bit-identical across thread counts, and a fixed-length window with no
+/// early halts is bit-identical to the same number of BSP rounds (the
+/// differential oracle tests/test_async.cpp pins).  See docs/EXEC.md.
+namespace agc::exec {
+
+/// Order a shard's work queue is scanned in.
+enum class AsyncSchedule {
+  VertexOrder,  ///< ascending vertex id (the default)
+  DegreeOrder,  ///< high-degree vertices first — a DAG-style priority that
+                ///< publishes the most-depended-on mailboxes earliest
+};
+
+class AsyncExecutor final : public runtime::RoundExecutor {
+ public:
+  explicit AsyncExecutor(std::size_t threads,
+                         AsyncSchedule schedule = AsyncSchedule::VertexOrder);
+
+  [[nodiscard]] std::size_t threads() const noexcept override {
+    return pool_.size();
+  }
+  [[nodiscard]] bool dependency_driven() const noexcept override {
+    return true;
+  }
+
+  /// One engine round == a window of one: every vertex fires exactly once,
+  /// so states *and* metrics are bit-identical to the BSP backends.
+  void round(runtime::RoundContext& ctx, runtime::Metrics& total) override;
+
+  std::size_t run_window(runtime::RoundContext& ctx, runtime::Metrics& total,
+                         std::size_t rounds) override;
+
+  /// Rounds fired per vertex in the last window — the per-vertex counts the
+  /// theorem bounds speak about (test introspection).
+  [[nodiscard]] const std::vector<std::uint32_t>& last_fired() const noexcept {
+    return fired_;
+  }
+
+ private:
+  void shard_window(runtime::RoundContext& ctx, std::size_t shard,
+                    std::size_t rounds);
+  [[nodiscard]] bool vertex_ready(const graph::Graph& g, graph::Vertex v,
+                                  std::uint32_t k) const noexcept;
+
+  ThreadPool pool_;
+  ParkingLot lot_;
+  AsyncSchedule schedule_;
+  /// Completed sends per vertex: written by the owner shard (release), read
+  /// by neighbor shards' readiness checks (acquire).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> sent_;
+  /// Halt flags: set (release) after the halted vertex mirrored its final
+  /// message into both parity slots, so readers skip its sent_ counter.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> halted_;
+  std::size_t slots_ = 0;  ///< allocated length of sent_ / halted_
+  std::vector<std::uint32_t> fired_;  ///< completed receives (owner-only)
+  std::vector<runtime::Metrics> per_shard_;
+  std::atomic<bool> abort_{false};
+  /// Window-scoped inputs of the reusable pool task (no per-round closures).
+  runtime::RoundContext* ctx_ = nullptr;
+  std::size_t window_rounds_ = 0;
+  std::function<void(std::size_t)> window_task_;
+};
+
+/// Factory mirroring make_executor(): 0 = hardware concurrency.  A single
+/// thread still runs the dependency-driven loop (useful for differential
+/// tests); it never parks because one shard always has an enabled vertex.
+[[nodiscard]] std::shared_ptr<runtime::RoundExecutor> make_async_executor(
+    std::size_t threads, AsyncSchedule schedule = AsyncSchedule::VertexOrder);
+
+}  // namespace agc::exec

@@ -1,0 +1,165 @@
+#include "agc/exec/async_executor.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "agc/exec/executor.hpp"  // shard_range
+
+namespace agc::exec {
+
+AsyncExecutor::AsyncExecutor(std::size_t threads, AsyncSchedule schedule)
+    : pool_(threads), schedule_(schedule) {
+  // Built once; reads the window-scoped members through `this`, so no
+  // std::function is constructed per round (matching ParallelExecutor).
+  window_task_ = [this](std::size_t s) {
+    try {
+      shard_window(*ctx_, s, window_rounds_);
+    } catch (...) {
+      // A dead shard would leave its neighbors parked forever waiting for
+      // sends that will never come: raise the abort flag and wake everyone
+      // before letting the pool record the exception (it rethrows the
+      // lowest-indexed one after the batch drains).
+      abort_.store(true, std::memory_order_seq_cst);
+      lot_.wake_all();
+      throw;
+    }
+  };
+}
+
+void AsyncExecutor::round(runtime::RoundContext& ctx,
+                          runtime::Metrics& total) {
+  run_window(ctx, total, 1);
+}
+
+std::size_t AsyncExecutor::run_window(runtime::RoundContext& ctx,
+                                      runtime::Metrics& total,
+                                      std::size_t rounds) {
+  if (rounds == 0) return 0;
+  const std::size_t n = ctx.n();
+  const std::size_t shards = pool_.size();
+  ctx.prepare(shards);
+  if (slots_ < n) {
+    sent_ = std::make_unique<std::atomic<std::uint32_t>[]>(n);
+    halted_ = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+    slots_ = n;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    sent_[v].store(0, std::memory_order_relaxed);
+    halted_[v].store(0, std::memory_order_relaxed);
+  }
+  fired_.assign(n, 0);
+  per_shard_.assign(shards, runtime::Metrics{});  // capacity reused
+  abort_.store(false, std::memory_order_relaxed);
+  ctx_ = &ctx;
+  window_rounds_ = rounds;
+
+  pool_.run(shards, window_task_);
+
+  ctx_ = nullptr;
+  runtime::RoundContext::reduce(per_shard_, total);
+  std::uint32_t fired_max = 0;
+  for (const std::uint32_t f : fired_) fired_max = std::max(fired_max, f);
+  return fired_max;
+}
+
+bool AsyncExecutor::vertex_ready(const graph::Graph& g, graph::Vertex v,
+                                 std::uint32_t k) const noexcept {
+  for (const graph::Vertex u : g.neighbors(v)) {
+    if (sent_[u].load(std::memory_order_acquire) >= k + 1) continue;
+    // A halted neighbor never advances sent_, but its final message was
+    // mirrored into both parity slots before the flag was published.
+    if (halted_[u].load(std::memory_order_acquire) != 0) continue;
+    return false;
+  }
+  return true;
+}
+
+void AsyncExecutor::shard_window(runtime::RoundContext& ctx, std::size_t shard,
+                                 std::size_t rounds) {
+  const auto [begin, end] = shard_range(ctx.n(), pool_.size(), shard);
+  obs::PhaseProfile* profile = ctx.profile();
+  obs::PhaseStats* stats = profile != nullptr ? profile->shard(shard) : nullptr;
+  const std::uint64_t base = ctx.base_round();
+  const graph::Graph& g = ctx.graph();
+  runtime::Metrics& metrics = per_shard_[shard];
+
+  // The shard's work queue: vertices still live in this window, in schedule
+  // order.  Finished vertices are compacted out stably, so later passes
+  // never revisit them and the priority order survives.
+  std::vector<graph::Vertex> queue;
+  queue.reserve(end - begin);
+  for (graph::Vertex v = begin; v < end; ++v) queue.push_back(v);
+  if (schedule_ == AsyncSchedule::DegreeOrder) {
+    std::stable_sort(queue.begin(), queue.end(),
+                     [&](graph::Vertex a, graph::Vertex b) {
+                       return g.degree(a) > g.degree(b);
+                     });
+  }
+
+  while (!queue.empty()) {
+    if (abort_.load(std::memory_order_relaxed)) return;
+    // Snapshot the wake tick before scanning: any publish that lands after
+    // a failed readiness check below also moves the tick, so park() returns
+    // immediately instead of sleeping through it.
+    const std::uint64_t seen = lot_.tick();
+    bool progress = false;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      const graph::Vertex v = queue[i];
+      const std::uint32_t k = fired_[v];
+      if (sent_[v].load(std::memory_order_relaxed) == k) {
+        {
+          obs::ScopedPhaseTimer timer(stats, obs::Phase::Send);
+          ctx.send_vertex(v, shard, base + k);
+        }
+        sent_[v].store(k + 1, std::memory_order_release);
+        lot_.wake_all();
+        progress = true;
+      }
+      bool done = false;
+      if (vertex_ready(g, v, k)) {
+        {
+          obs::ScopedPhaseTimer timer(stats, obs::Phase::Deliver);
+          ctx.deliver_vertex(v, metrics, base + k);
+        }
+        {
+          obs::ScopedPhaseTimer timer(stats, obs::Phase::Receive);
+          ctx.receive_vertex(v, shard, base + k);
+        }
+        fired_[v] = k + 1;
+        progress = true;
+        if (k + 1 >= rounds) {
+          done = true;  // window exhausted; neighbors need at most sent_==rounds
+        } else if (ctx.vertex_halted(v)) {
+          // Halted early: future-epoch readers must keep seeing the final
+          // message — mirror it into the other parity slot, then publish
+          // the halt so neighbors stop waiting on sent_.
+          ctx.mirror_vertex(v, base + k);
+          halted_[v].store(1, std::memory_order_release);
+          lot_.wake_all();
+          done = true;
+        }
+      }
+      if (!done) queue[keep++] = v;
+    }
+    queue.resize(keep);
+    if (queue.empty()) return;
+    if (!progress) {
+      // Every runnable vertex is waiting on a neighbor: park until someone
+      // publishes.  The globally least-advanced vertex always has an
+      // enabled action, so the system as a whole cannot deadlock.
+      obs::ScopedPhaseTimer timer(stats, obs::Phase::Barrier);
+      lot_.park(seen);
+    }
+  }
+}
+
+std::shared_ptr<runtime::RoundExecutor> make_async_executor(
+    std::size_t threads, AsyncSchedule schedule) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::make_shared<AsyncExecutor>(threads, schedule);
+}
+
+}  // namespace agc::exec

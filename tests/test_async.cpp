@@ -1,0 +1,517 @@
+// The async (dependency-driven) executor's contract (docs/EXEC.md), pinned
+// differentially against the BSP backends:
+//
+//   * per-round driving (Engine::step) is bit-identical to BSP — states AND
+//     metrics — for every thread count and schedule, including under channel
+//     faults and topology churn;
+//   * fixed-length windows with no early halts are bit-identical to the same
+//     number of BSP rounds;
+//   * adaptive halting inside a window stops each vertex exactly when its
+//     halt predicate fires (the per-vertex fired-round bound the theorems
+//     speak about) while neighbors keep reading its mirrored final message;
+//   * the full coloring pipeline reaches the same final colors as the BSP
+//     oracle, legally, with per-stage rounds within one of the oracle's.
+//
+// The TSan CI job runs this binary, covering the sent_/halted_ publication
+// protocol and the ParkingLot under real concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "agc/coloring/pipeline.hpp"
+#include "agc/exec/async_executor.hpp"
+#include "agc/exec/executor.hpp"
+#include "agc/exec/thread_pool.hpp"
+#include "agc/faultlab/channel.hpp"
+#include "agc/graph/checks.hpp"
+#include "agc/graph/generators.hpp"
+#include "agc/runtime/engine.hpp"
+#include "agc/selfstab/ss_coloring.hpp"
+#include "agc/selfstab/ss_line.hpp"
+#include "agc/selfstab/ss_mis.hpp"
+
+namespace {
+
+using namespace agc;
+
+void expect_same_metrics(const runtime::Metrics& a, const runtime::Metrics& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  EXPECT_EQ(a.max_edge_bits, b.max_edge_bits);
+}
+
+void expect_same_ram(runtime::Engine& a, runtime::Engine& b) {
+  ASSERT_EQ(a.graph().n(), b.graph().n());
+  for (graph::Vertex v = 0; v < a.graph().n(); ++v) {
+    const auto ra = a.program(v).ram();
+    const auto rb = b.program(v).ram();
+    ASSERT_EQ(ra.size(), rb.size()) << "vertex " << v;
+    for (std::size_t w = 0; w < ra.size(); ++w) {
+      ASSERT_EQ(ra[w], rb[w]) << "vertex " << v << " word " << w;
+    }
+  }
+}
+
+std::vector<graph::Graph> test_graphs() {
+  std::vector<graph::Graph> gs;
+  gs.push_back(graph::random_gnp(300, 0.05, 42));
+  gs.push_back(graph::random_regular(400, 8, 7));
+  gs.push_back(graph::grid(15, 20));
+  return gs;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline oracle: async reaches the BSP oracle's exact colors, legally.
+// Adaptive halting may trim trailing rounds per vertex, so the round count is
+// bounded by the oracle's plus one per stage, not required to match exactly.
+TEST(AsyncDifferential, PipelineAcrossModelsThreadsGraphs) {
+  for (const auto& g : test_graphs()) {
+    for (const runtime::Model model :
+         {runtime::Model::SET_LOCAL, runtime::Model::LOCAL,
+          runtime::Model::CONGEST}) {
+      coloring::PipelineOptions base;
+      base.iter.model = model;
+      const auto seq = coloring::color_delta_plus_one(g, base);
+      ASSERT_TRUE(seq.converged);
+      ASSERT_TRUE(seq.proper);
+
+      for (const exec::AsyncSchedule schedule :
+           {exec::AsyncSchedule::VertexOrder, exec::AsyncSchedule::DegreeOrder}) {
+        for (const std::size_t threads : {1, 2, 8}) {
+          coloring::PipelineOptions par = base;
+          par.iter.executor = exec::make_async_executor(threads, schedule);
+          const auto rep = coloring::color_delta_plus_one(g, par);
+          ASSERT_TRUE(rep.converged) << "threads=" << threads;
+          EXPECT_TRUE(rep.proper) << "threads=" << threads;
+          EXPECT_TRUE(graph::is_proper_coloring(g, rep.colors));
+          EXPECT_EQ(rep.colors, seq.colors) << "threads=" << threads;
+          EXPECT_EQ(rep.palette, seq.palette);
+          // Each stage halts at most one round past the oracle's all-final
+          // detection; the pipeline runs a handful of stages.
+          EXPECT_LE(rep.rounds, seq.rounds + 8) << "threads=" << threads;
+          if (seq.proper_each_round) {
+            // Window-boundary checks see a subset of the oracle's states.
+            EXPECT_TRUE(rep.proper_each_round) << "threads=" << threads;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-round driving: selfstab harnesses call Engine::step, where the async
+// executor runs windows of one — bit-identical to BSP including metrics.
+TEST(AsyncDifferential, SsColoringPerStepBitIdentical) {
+  const std::size_t delta = 10;
+  const auto g = graph::random_regular(200, 6, 11);
+  selfstab::SsConfig cfg(g.n(), delta, selfstab::PaletteMode::ExactDeltaPlusOne);
+  auto make_engine = [&](std::shared_ptr<runtime::RoundExecutor> ex) {
+    runtime::EngineOptions eo;
+    eo.delta_bound = delta;
+    runtime::Engine e(g, runtime::Transport(runtime::Model::LOCAL), eo);
+    if (ex) e.set_executor(std::move(ex));
+    e.install(selfstab::ss_coloring_factory(cfg));
+    return e;
+  };
+
+  auto seq = make_engine(nullptr);
+  const auto rs = selfstab::run_until_stable(seq, cfg, 100000);
+  ASSERT_TRUE(rs.stabilized);
+
+  for (const std::size_t threads : {1, 2, 8}) {
+    auto par = make_engine(exec::make_async_executor(threads));
+    const auto rp = selfstab::run_until_stable(par, cfg, 100000);
+    ASSERT_TRUE(rp.stabilized) << "threads=" << threads;
+    EXPECT_EQ(rp.rounds_to_stable, rs.rounds_to_stable) << "threads=" << threads;
+    EXPECT_EQ(rp.colors, rs.colors) << "threads=" << threads;
+    expect_same_ram(seq, par);
+    expect_same_metrics(seq.metrics(), par.metrics());
+  }
+}
+
+TEST(AsyncDifferential, SsMisAndSsLinePerStepBitIdentical) {
+  {
+    const auto g = graph::random_gnp(120, 0.06, 5);
+    selfstab::SsConfig cfg(g.n(), g.max_degree(), selfstab::PaletteMode::ODelta);
+    auto make_engine = [&](std::shared_ptr<runtime::RoundExecutor> ex) {
+      runtime::EngineOptions eo;
+      eo.delta_bound = g.max_degree();
+      runtime::Engine e(g, runtime::Transport(runtime::Model::LOCAL), eo);
+      if (ex) e.set_executor(std::move(ex));
+      e.install(selfstab::ss_mis_factory(cfg));
+      return e;
+    };
+    auto seq = make_engine(nullptr);
+    const auto rs = selfstab::run_until_mis_stable(seq, cfg, 100000);
+    ASSERT_TRUE(rs.stabilized);
+    for (const std::size_t threads : {2, 8}) {
+      auto par = make_engine(exec::make_async_executor(threads));
+      const auto rp = selfstab::run_until_mis_stable(par, cfg, 100000);
+      ASSERT_TRUE(rp.stabilized) << "threads=" << threads;
+      EXPECT_EQ(rp.rounds_to_stable, rs.rounds_to_stable);
+      EXPECT_EQ(rp.in_mis, rs.in_mis);
+      expect_same_ram(seq, par);
+      expect_same_metrics(seq.metrics(), par.metrics());
+    }
+  }
+  {
+    const auto g = graph::random_gnp(40, 0.15, 21);
+    selfstab::SsLineConfig cfg(g.n(), g.max_degree(),
+                               selfstab::LineTask::MaximalMatching);
+    auto make_engine = [&](std::shared_ptr<runtime::RoundExecutor> ex) {
+      runtime::EngineOptions eo;
+      eo.delta_bound = g.max_degree();
+      runtime::Engine e(g, runtime::Transport(runtime::Model::LOCAL), eo);
+      if (ex) e.set_executor(std::move(ex));
+      e.install(selfstab::ss_line_factory(cfg));
+      return e;
+    };
+    auto seq = make_engine(nullptr);
+    const auto rs = selfstab::run_until_line_stable(seq, cfg, 100000);
+    ASSERT_TRUE(rs.stabilized);
+    for (const std::size_t threads : {2, 8}) {
+      auto par = make_engine(exec::make_async_executor(threads));
+      const auto rp = selfstab::run_until_line_stable(par, cfg, 100000);
+      ASSERT_TRUE(rp.stabilized) << "threads=" << threads;
+      EXPECT_EQ(rp.rounds_to_stable, rs.rounds_to_stable);
+      expect_same_ram(seq, par);
+      expect_same_metrics(seq.metrics(), par.metrics());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Channel faults: the adversary's decisions are pure in (seed, round, u, v)
+// and it resolves the mailbox parity via arena.parity_for(round), so a faulted
+// per-step async run must replay the BSP trajectory bit-for-bit.
+TEST(AsyncDifferential, ChannelAdversaryBitIdenticalToBsp) {
+  const std::size_t delta = 8;
+  const auto g = graph::random_regular(150, 6, 13);
+  selfstab::SsConfig cfg(g.n(), delta, selfstab::PaletteMode::ODelta);
+  faultlab::ChannelFaultConfig fc;
+  fc.seed = 5;
+  fc.drop_per_million = 20000;
+  fc.corrupt_per_million = 10000;
+  fc.duplicate_per_million = 10000;
+  fc.delay_per_million = 10000;
+  fc.last_round = 40;
+
+  auto make_engine = [&](std::shared_ptr<runtime::RoundExecutor> ex,
+                         faultlab::ChannelAdversary& adv) {
+    runtime::EngineOptions eo;
+    eo.delta_bound = delta;
+    runtime::Engine e(g, runtime::Transport(runtime::Model::LOCAL), eo);
+    if (ex) e.set_executor(std::move(ex));
+    e.set_channel(&adv);
+    e.install(selfstab::ss_coloring_factory(cfg));
+    return e;
+  };
+
+  faultlab::ChannelAdversary adv_seq(fc);
+  auto seq = make_engine(nullptr, adv_seq);
+  const auto rs = selfstab::run_until_stable(seq, cfg, 100000);
+  ASSERT_TRUE(rs.stabilized);
+  ASSERT_GT(adv_seq.events(), 0u);  // the wire really was attacked
+
+  for (const std::size_t threads : {1, 4}) {
+    faultlab::ChannelAdversary adv_par(fc);
+    auto par = make_engine(exec::make_async_executor(threads), adv_par);
+    const auto rp = selfstab::run_until_stable(par, cfg, 100000);
+    ASSERT_TRUE(rp.stabilized) << "threads=" << threads;
+    EXPECT_EQ(rp.rounds_to_stable, rs.rounds_to_stable) << "threads=" << threads;
+    EXPECT_EQ(rp.colors, rs.colors) << "threads=" << threads;
+    EXPECT_EQ(adv_par.events(), adv_seq.events()) << "threads=" << threads;
+    expect_same_ram(seq, par);
+    expect_same_metrics(seq.metrics(), par.metrics());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Windows.  A 1-bit hash-chain program (order-sensitive over ports) that
+// never halts: a fixed window of R rounds must equal R BSP steps exactly.
+class BitChainProgram final : public runtime::VertexProgram {
+ public:
+  void on_start(const runtime::VertexEnv& env) override {
+    ram_ = {0, env.padded_id & 1};
+  }
+  void on_send(const runtime::VertexEnv&, runtime::OutboxRef& out) override {
+    out.broadcast(runtime::Word{ram_[1] & 1, 1});
+  }
+  void on_receive(const runtime::VertexEnv&,
+                  const runtime::InboxRef& in) override {
+    for (std::size_t p = 0; p < in.ports(); ++p) {
+      for (const runtime::Word w : in.from_port(p)) {
+        ram_[0] = ram_[0] * 1099511628211ULL + (w.value << 1 | 1);
+      }
+    }
+    ram_[1] ^= ram_[0] & 1;
+  }
+  std::span<std::uint64_t> ram() override { return ram_; }
+
+ private:
+  std::vector<std::uint64_t> ram_ = {0, 0};
+};
+
+TEST(AsyncWindow, FixedWindowBitIdenticalToBspSteps) {
+  const auto g = graph::random_gnp(250, 0.04, 9);
+  auto make_engine = [&] {
+    runtime::Engine e(g, runtime::Transport(runtime::Model::BIT));
+    e.install([](const runtime::VertexEnv&) {
+      return std::make_unique<BitChainProgram>();
+    });
+    return e;
+  };
+
+  auto seq = make_engine();
+  for (int r = 0; r < 6; ++r) seq.step();
+
+  for (const std::size_t threads : {1, 2, 8}) {
+    auto par = make_engine();
+    par.set_executor(exec::make_async_executor(threads));
+    // No program ever halts, so the whole window is exhausted.
+    EXPECT_EQ(par.step_window(6), 6u) << "threads=" << threads;
+    expect_same_ram(seq, par);
+    expect_same_metrics(seq.metrics(), par.metrics());
+  }
+  // The Bit-Round model really was exercised: 1 bit per edge per round.
+  EXPECT_EQ(seq.metrics().max_edge_bits, 6u);
+}
+
+// step_window with a barriered executor (or none) falls back to per-step
+// driving and still executes the requested number of rounds.
+TEST(AsyncWindow, BspExecutorFallsBackToPerStepLoop) {
+  const auto g = graph::grid(6, 6);
+  runtime::Engine e(g, runtime::Transport(runtime::Model::BIT));
+  e.set_executor(exec::make_executor(2));
+  e.install([](const runtime::VertexEnv&) {
+    return std::make_unique<BitChainProgram>();
+  });
+  EXPECT_EQ(e.step_window(4), 4u);
+  EXPECT_EQ(e.metrics().rounds, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-vertex halting.  Each vertex halts after a cap of 1 + (id mod 4)
+// firings; past its cap, neighbors must keep reading its mirrored final
+// message.  The resulting RAM is a pure function of the dependency graph, so
+// it must be identical across thread counts and schedules, and last_fired()
+// must hit each cap exactly — the per-vertex fired-round bound.
+class CapProgram final : public runtime::VertexProgram {
+ public:
+  void on_start(const runtime::VertexEnv& env) override {
+    id_ = env.id;
+    cap_ = 1 + (env.id % 4);
+  }
+  void on_send(const runtime::VertexEnv&, runtime::OutboxRef& out) override {
+    out.broadcast(runtime::Word{ram_[0] * 1024 + (id_ & 1023), 16});
+  }
+  void on_receive(const runtime::VertexEnv&,
+                  const runtime::InboxRef& in) override {
+    for (const std::uint64_t w : in.multiset()) {
+      ram_[1] = ram_[1] * 1099511628211ULL + (w << 1 | 1);
+    }
+    ++ram_[0];
+  }
+  [[nodiscard]] bool halted(const runtime::VertexEnv&) const override {
+    return ram_[0] >= cap_;
+  }
+  std::span<std::uint64_t> ram() override { return ram_; }
+
+ private:
+  std::uint64_t id_ = 0;
+  std::uint64_t cap_ = 0;
+  std::vector<std::uint64_t> ram_ = {0, 0};  ///< {receive count, inbox hash}
+};
+
+TEST(AsyncWindow, PerVertexHaltingFiredBoundsAndDeterminism) {
+  const auto g = graph::random_gnp(200, 0.05, 17);
+  std::vector<std::uint64_t> golden_ram;
+  bool first = true;
+  for (const exec::AsyncSchedule schedule :
+       {exec::AsyncSchedule::VertexOrder, exec::AsyncSchedule::DegreeOrder}) {
+    for (const std::size_t threads : {1, 2, 8}) {
+      auto ex = std::make_shared<exec::AsyncExecutor>(threads, schedule);
+      runtime::Engine e(g, runtime::Transport(runtime::Model::LOCAL));
+      e.set_executor(ex);
+      e.install([](const runtime::VertexEnv&) {
+        return std::make_unique<CapProgram>();
+      });
+      // Caps are at most 4, well under the 10-round window: the return value
+      // is the max per-vertex firing count, and every vertex stops at its cap.
+      EXPECT_EQ(e.step_window(10), 4u)
+          << "threads=" << threads << " schedule=" << int(schedule);
+      const auto& fired = ex->last_fired();
+      ASSERT_EQ(fired.size(), g.n());
+      for (graph::Vertex v = 0; v < g.n(); ++v) {
+        EXPECT_EQ(fired[v], 1 + (v % 4)) << "vertex " << v;
+      }
+      std::vector<std::uint64_t> ram;
+      for (graph::Vertex v = 0; v < g.n(); ++v) {
+        // count_ is word 0 of the program's RAM after the window.
+        const auto r = e.program(v).ram();
+        for (const std::uint64_t w : r) ram.push_back(w);
+      }
+      if (first) {
+        golden_ram = ram;
+        first = false;
+      } else {
+        EXPECT_EQ(ram, golden_ram)
+            << "threads=" << threads << " schedule=" << int(schedule);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exceptions raised inside a window must propagate (lowest-indexed shard
+// wins, matching ThreadPool), not hang parked neighbors; the executor stays
+// usable afterwards.
+class ThrowOnceProgram final : public runtime::VertexProgram {
+ public:
+  void on_start(const runtime::VertexEnv& env) override { id_ = env.id; }
+  void on_send(const runtime::VertexEnv&, runtime::OutboxRef& out) override {
+    out.broadcast(runtime::Word{1, 1});
+  }
+  void on_receive(const runtime::VertexEnv&,
+                  const runtime::InboxRef&) override {
+    if (id_ == 37 && ++count_ == 2) throw std::runtime_error("boom");
+  }
+  std::span<std::uint64_t> ram() override { return {}; }
+
+ private:
+  std::uint64_t id_ = 0;
+  int count_ = 0;
+};
+
+TEST(AsyncWindow, ExceptionPropagatesWithoutHang) {
+  const auto g = graph::random_gnp(100, 0.05, 3);
+  auto ex = exec::make_async_executor(8);
+  {
+    runtime::Engine e(g, runtime::Transport(runtime::Model::BIT));
+    e.set_executor(ex);
+    e.install([](const runtime::VertexEnv&) {
+      return std::make_unique<ThrowOnceProgram>();
+    });
+    EXPECT_THROW(e.step_window(10), std::runtime_error);
+  }
+  // Same executor, fresh engine: the abort flag and parked shards must have
+  // been fully reset.
+  runtime::Engine e2(g, runtime::Transport(runtime::Model::BIT));
+  e2.set_executor(ex);
+  e2.install([](const runtime::VertexEnv&) {
+    return std::make_unique<BitChainProgram>();
+  });
+  EXPECT_EQ(e2.step_window(3), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Topology churn under per-step async driving: the SET-LOCAL regression from
+// test_mailbox_arena.cpp, re-run on the dependency-driven backend.  Every
+// mutation class (edge add/remove, vertex reset, vertex add) must leave each
+// vertex hearing exactly its current sorted neighborhood.
+class IdEchoProgram final : public runtime::VertexProgram {
+ public:
+  void on_send(const runtime::VertexEnv& env, runtime::OutboxRef& out) override {
+    out.broadcast({env.padded_id, runtime::width_of(env.id_space - 1)});
+  }
+  void on_receive(const runtime::VertexEnv&,
+                  const runtime::InboxRef& in) override {
+    const auto ms = in.multiset();
+    heard.assign(ms.begin(), ms.end());
+  }
+  std::span<std::uint64_t> ram() override { return {}; }
+  std::vector<std::uint64_t> heard;
+};
+
+TEST(AsyncChurn, TopologyChurnEveryRoundUnderSetLocal) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    runtime::Engine engine(graph::path(6),
+                           runtime::Transport(runtime::Model::SET_LOCAL));
+    engine.set_executor(exec::make_async_executor(threads));
+    engine.install([](const runtime::VertexEnv&) {
+      return std::make_unique<IdEchoProgram>();
+    });
+
+    graph::Rng rng(99);
+    for (int round = 0; round < 40; ++round) {
+      const std::size_t n = engine.graph().n();
+      switch (round % 4) {
+        case 0:
+          engine.add_edge(static_cast<graph::Vertex>(rng.below(n)),
+                          static_cast<graph::Vertex>(rng.below(n)));
+          break;
+        case 1: {
+          const auto edges = engine.graph().edges();
+          if (!edges.empty()) {
+            const auto& e = edges[rng.below(edges.size())];
+            engine.remove_edge(e.first, e.second);
+          }
+          break;
+        }
+        case 2:
+          engine.reset_vertex(static_cast<graph::Vertex>(rng.below(n)));
+          break;
+        case 3: {
+          const auto v = engine.add_vertex();
+          engine.add_edge(v, static_cast<graph::Vertex>(rng.below(v)));
+          break;
+        }
+      }
+      engine.step();
+      const auto& g = engine.graph();
+      for (graph::Vertex v = 0; v < g.n(); ++v) {
+        const auto nbrs = g.neighbors(v);
+        const std::vector<std::uint64_t> want(nbrs.begin(), nbrs.end());
+        const auto& heard =
+            dynamic_cast<IdEchoProgram&>(engine.program(v)).heard;
+        EXPECT_EQ(heard, want) << "vertex " << v << " threads " << threads;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParkingLot: the Dekker handshake must never lose a wake.
+TEST(ParkingLot, WakeBeforeParkReturnsImmediately) {
+  exec::ParkingLot lot;
+  const std::uint64_t seen = lot.tick();
+  lot.wake_all();
+  lot.park(seen);  // tick moved past the snapshot: must not block
+  SUCCEED();
+}
+
+TEST(ParkingLot, StressPublishersNeverStrandParkers) {
+  exec::ParkingLot lot;
+  std::atomic<std::uint64_t> published{0};
+  constexpr std::uint64_t kTarget = 20000;
+
+  std::vector<std::thread> parkers;
+  for (int t = 0; t < 4; ++t) {
+    parkers.emplace_back([&] {
+      for (;;) {
+        const std::uint64_t seen = lot.tick();
+        if (published.load(std::memory_order_acquire) >= kTarget) return;
+        lot.park(seen);  // a publish between the checks moves the tick
+      }
+    });
+  }
+  std::thread publisher([&] {
+    for (std::uint64_t i = 0; i < kTarget; ++i) {
+      published.fetch_add(1, std::memory_order_release);
+      lot.wake_all();
+    }
+  });
+  publisher.join();
+  // Termination IS the assertion: a lost wakeup would hang a parker here.
+  for (auto& t : parkers) t.join();
+  SUCCEED();
+}
+
+}  // namespace
