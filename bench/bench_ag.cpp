@@ -30,7 +30,8 @@ void delta_sweep() {
   benchutil::Table t({"Delta", "q", "AG rounds", "bound q", "colors out",
                       "proper each round"});
   for (std::size_t delta : {4, 8, 16, 32, 64, 128}) {
-    const auto g = graph::random_regular(1500, delta, 99 + delta);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(1500, delta, 99 + delta));
+    const graph::GraphView g = rg.view();
     runtime::IterativeOptions io;
     io.executor = g_exec;
     auto lin = coloring::linial_color(g, coloring::identity_coloring(g.n()), g.n(),
@@ -50,7 +51,8 @@ void logstar_sweep() {
   std::printf("-- E1b: pipeline rounds vs ID-space size (Delta=16, n=800) --\n\n");
   benchutil::Table t({"id-space factor", "log*(space)", "Linial rounds",
                       "total rounds", "palette"});
-  const auto g = graph::random_regular(800, 16, 7);
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(800, 16, 7));
+  const graph::GraphView g = rg.view();
   for (std::uint64_t f : {1ULL, 1ULL << 8, 1ULL << 24, 1ULL << 50}) {
     coloring::PipelineOptions opts;
     opts.iter.executor = g_exec;
@@ -70,7 +72,8 @@ void three_ag() {
   benchutil::Table t({"Delta", "p", "init palette", "rounds", "bound 2p+2",
                       "colors out", "proper each round"});
   for (std::size_t delta : {4, 8, 16, 32}) {
-    const auto g = graph::random_regular(1200, delta, 3 + delta);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(1200, delta, 3 + delta));
+    const graph::GraphView g = rg.view();
     // Start from a proper coloring in [0, p^3): identity IDs padded modulo a
     // p^3 space via Linial against a p^3 bound.
     const std::uint64_t p = coloring::three_ag_modulus(delta, g.n());
@@ -96,7 +99,8 @@ void mixed_exact() {
   benchutil::Table t({"Delta", "rounds(core)", "bound", "palette", "Delta+1",
                       "proper each round"});
   for (std::size_t delta : {4, 8, 16, 32, 64}) {
-    const auto g = graph::random_regular(1200, delta, 17 + delta);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(1200, delta, 17 + delta));
+    const graph::GraphView g = rg.view();
     coloring::PipelineOptions popts;
     popts.iter.executor = g_exec;
     const auto rep = coloring::color_delta_plus_one_exact(g, popts);
@@ -118,7 +122,8 @@ void composite_ablation() {
   benchutil::Table t({"Delta", "q", "prime?", "converged", "rounds",
                       "proper each round"});
   const std::size_t delta = 20;
-  const auto g = graph::random_regular(900, delta, 5);
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(900, delta, 5));
+  const graph::GraphView g = rg.view();
   auto lin = coloring::linial_color(g, coloring::identity_coloring(g.n()), g.n(),
                                     delta);
   for (std::uint64_t q : {43ULL, 44ULL, 45ULL, 47ULL}) {  // 44 = 4*11, 45 = 9*5

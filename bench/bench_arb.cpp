@@ -33,7 +33,8 @@ void p_sweep() {
               "classes ~ Delta/p, arbdefect <= p + seed defect --\n\n");
   benchutil::Table t({"p", "rounds", "window 2D/p+1", "classes",
                       "arbdefect witness", "p+seed defect", "converged"});
-  const auto g = graph::random_regular(900, 64, 21);
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(900, 64, 21));
+  const graph::GraphView g = rg.view();
   for (std::size_t p : {1, 2, 4, 8, 16, 32}) {
     const auto arb = arb::arbdefective_color(g, p, g.n(), run_opts());
     t.add_row({benchutil::num(std::uint64_t{p}),
@@ -52,7 +53,8 @@ void delta_sweep() {
   benchutil::Table t(
       {"Delta", "p", "rounds", "window 2D/p+1", "seed rounds", "converged"});
   for (std::size_t delta : {16, 36, 64, 100, 144}) {
-    const auto g = graph::random_regular(900, delta, delta);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(900, delta, delta));
+    const graph::GraphView g = rg.view();
     std::size_t p = 1;
     while ((p + 1) * (p + 1) <= delta) ++p;
     const auto arb = arb::arbdefective_color(g, p, g.n(), run_opts());
@@ -71,7 +73,8 @@ void eps_and_sublinear() {
   benchutil::Table t({"Delta", "eps=0.5 rounds", "eps palette", "(D+1) rounds",
                       "AG pipeline rounds", "all proper"});
   for (std::size_t delta : {16, 32, 64, 128}) {
-    const auto g = graph::random_regular(900, delta, 2 * delta + 1);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(900, delta, 2 * delta + 1));
+    const graph::GraphView g = rg.view();
     const auto eps = arb::eps_delta_coloring(g, 0.5, g.n(), run_opts());
     const auto sub = arb::sublinear_delta_plus_one(g, g.n(), run_opts());
     coloring::PipelineOptions popts;
@@ -96,7 +99,8 @@ void threshold_ablation() {
   benchutil::Table t({"Delta", "AG rounds (threshold 0)", "ArbAG rounds "
                       "(threshold sqrt(D))"});
   for (std::size_t delta : {16, 64, 144}) {
-    const auto g = graph::random_regular(900, delta, delta + 5);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(900, delta, delta + 5));
+    const graph::GraphView g = rg.view();
     coloring::PipelineOptions popts;
     popts.iter.executor = g_exec;
     const auto ag = coloring::color_o_delta(g, popts);

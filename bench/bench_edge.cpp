@@ -27,7 +27,8 @@ void congest_sweep() {
   benchutil::Table t({"Delta", "rounds", "palette", "=2D-1", "bits/edge avg",
                       "bits/edge max", "KW-on-L(G) rounds", "proper"});
   for (std::size_t delta : {4, 8, 16, 32, 64}) {
-    const auto g = graph::random_regular(400, delta, 11 * delta);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(400, delta, 11 * delta));
+    const graph::GraphView g = rg.view();
     edge::EdgeColoringOptions eopts;
     eopts.executor = g_exec;
     const auto res = edge::color_edges_distributed(g, eopts);
@@ -65,7 +66,8 @@ void bit_round_sweep() {
   opts.executor = g_exec;
   opts.bit_round = true;
   auto row = [&](std::size_t n, std::size_t delta) {
-    const auto g = graph::random_regular(n, delta, n + delta);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(n, delta, n + delta));
+    const graph::GraphView g = rg.view();
     const auto res = edge::color_edges_distributed(g, opts);
     const edge::EdgeSchedule sched(g.n(), delta, true);
     t.add_row({benchutil::num(std::uint64_t{n}), benchutil::num(std::uint64_t{delta}),
@@ -85,7 +87,8 @@ void stage_ablation() {
   benchutil::Table t({"Delta", "rounds O(D)", "palette O(D)", "rounds exact",
                       "palette exact"});
   for (std::size_t delta : {8, 16, 32}) {
-    const auto g = graph::random_regular(500, delta, delta + 1);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(500, delta, delta + 1));
+    const graph::GraphView g = rg.view();
     edge::EdgeColoringOptions coarse;
     coarse.executor = g_exec;
     coarse.exact = false;

@@ -75,7 +75,8 @@ BENCHMARK(BM_AgStep)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_EngineRound(benchmark::State& state) {
   const auto delta = static_cast<std::size_t>(state.range(0));
-  const auto g = graph::random_regular(1000, delta, 3);
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(1000, delta, 3));
+  const graph::GraphView g = rg.view();
   coloring::AgRule rule(coloring::ag_modulus(delta, 1000));
   // Measure raw synchronous rounds through the SET-LOCAL transport.
   for (auto _ : state) {
@@ -97,7 +98,8 @@ BENCHMARK(BM_EngineRound)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 void BM_EngineRoundThreaded(benchmark::State& state) {
   const auto delta = static_cast<std::size_t>(state.range(0));
   const auto threads = static_cast<std::size_t>(state.range(1));
-  const auto g = graph::random_regular(1000, delta, 3);
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(1000, delta, 3));
+  const graph::GraphView g = rg.view();
   coloring::AgRule rule(coloring::ag_modulus(delta, 1000));
   const auto executor = exec::make_executor(threads);
   for (auto _ : state) {
@@ -156,7 +158,7 @@ class BroadcastFoldProgram final : public runtime::VertexProgram {
   std::uint64_t sum_ = 1;
 };
 
-void message_path_rounds(benchmark::State& state, const graph::Graph& g,
+void message_path_rounds(benchmark::State& state, graph::GraphView g,
                          runtime::Model model, std::size_t threads,
                          obs::PhaseProfile* profile = nullptr,
                          obs::EventSink* sink = nullptr) {
@@ -180,7 +182,8 @@ void message_path_rounds(benchmark::State& state, const graph::Graph& g,
 
 void BM_MessagePathRegular(benchmark::State& state) {
   const auto delta = static_cast<std::size_t>(state.range(0));
-  const auto g = graph::random_regular(4096, delta, 97 + delta);
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(4096, delta, 97 + delta));
+  const graph::GraphView g = rg.view();
   message_path_rounds(state, g, runtime::Model::SET_LOCAL, 1);
 }
 BENCHMARK(BM_MessagePathRegular)->Arg(8)->Arg(64)->Arg(256)
@@ -188,9 +191,11 @@ BENCHMARK(BM_MessagePathRegular)->Arg(8)->Arg(64)->Arg(256)
 
 void BM_MessagePathGnp(benchmark::State& state) {
   const auto delta = static_cast<std::size_t>(state.range(0));
-  const auto g = graph::random_gnp(
-      4096, static_cast<double>(delta) / 4096.0, 55 + delta);
-  message_path_rounds(state, g, runtime::Model::SET_LOCAL, 1);
+  char spec[96];
+  std::snprintf(spec, sizeof spec, "gnp:n=4096,p=%.17g,seed=%zu",
+                static_cast<double>(delta) / 4096.0, 55 + delta);
+  const auto rg = benchutil::resolve_graph(spec);
+  message_path_rounds(state, rg.view(), runtime::Model::SET_LOCAL, 1);
 }
 BENCHMARK(BM_MessagePathGnp)->Arg(8)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMillisecond);
@@ -202,7 +207,8 @@ BENCHMARK(BM_MessagePathGnp)->Arg(8)->Arg(64)->Arg(256)
 // the whole price of the obs subsystem when someone turns it on.
 void BM_MessagePathObserved(benchmark::State& state) {
   const auto delta = static_cast<std::size_t>(state.range(0));
-  const auto g = graph::random_regular(4096, delta, 97 + delta);
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(4096, delta, 97 + delta));
+  const graph::GraphView g = rg.view();
   obs::PhaseProfile profile;
   obs::RingSink sink(1024);
   message_path_rounds(state, g, runtime::Model::SET_LOCAL, 1, &profile, &sink);
@@ -215,7 +221,8 @@ BENCHMARK(BM_MessagePathObserved)->Arg(64)->Unit(benchmark::kMillisecond);
 // lane reservation; steady-state allocation-free (tests/test_alloc_hook.cpp).
 void BM_MessagePathChannelAdversary(benchmark::State& state) {
   const auto delta = static_cast<std::size_t>(state.range(0));
-  const auto g = graph::random_regular(4096, delta, 97 + delta);
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(4096, delta, 97 + delta));
+  const graph::GraphView g = rg.view();
   faultlab::ChannelFaultConfig cfg;
   cfg.seed = 11;
   cfg.drop_per_million = 10'000;
@@ -252,7 +259,8 @@ void BM_AsyncVsBarrier(benchmark::State& state) {
   constexpr std::size_t kThreads = 8;
   constexpr std::size_t kWindow = 32;
   const bool async = state.range(0) != 0;
-  const auto g = graph::random_regular(4096, kDelta, 97 + kDelta);
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(4096, kDelta, 97 + kDelta));
+  const graph::GraphView g = rg.view();
   runtime::Engine engine(g, runtime::Transport(runtime::Model::SET_LOCAL));
   engine.set_executor(async ? exec::make_async_executor(kThreads)
                             : exec::make_executor(kThreads));
@@ -285,7 +293,8 @@ BENCHMARK(BM_AsyncVsBarrier)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 // The same loop on the exec backend's threads (--threads/AGC_THREADS).
 void BM_MessagePathRegularThreaded(benchmark::State& state) {
   const auto delta = static_cast<std::size_t>(state.range(0));
-  const auto g = graph::random_regular(4096, delta, 97 + delta);
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(4096, delta, 97 + delta));
+  const graph::GraphView g = rg.view();
   message_path_rounds(state, g, runtime::Model::SET_LOCAL,
                       benchutil::gbench_threads());
 }

@@ -30,7 +30,7 @@ namespace {
 /// Execution backend from --threads/AGC_THREADS (null = sequential engine).
 std::shared_ptr<runtime::RoundExecutor> g_exec;
 
-runtime::Engine make_engine(const graph::Graph& g, std::size_t delta_bound) {
+runtime::Engine make_engine(graph::GraphView g, std::size_t delta_bound) {
   runtime::EngineOptions opts;
   opts.delta_bound = delta_bound;
   runtime::Engine engine(g, runtime::Transport(runtime::Model::LOCAL), opts);
@@ -72,7 +72,8 @@ void delta_sweep() {
   std::printf("-- E2b: stabilization vs Delta (64 faults, n=600) --\n\n");
   benchutil::Table t({"Delta", "coloring", "MIS", "stabilized"});
   for (std::size_t delta : {4, 8, 16, 32}) {
-    const auto g = graph::random_regular(600, delta, 7 * delta);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(600, delta, 7 * delta));
+    const graph::GraphView g = rg.view();
     bool ok = true;
 
     SsConfig cfg(g.n(), delta, PaletteMode::ODelta);
@@ -105,7 +106,8 @@ void adjustment_radius() {
   std::printf("-- E2c/E3: adjustment radius — recolored vertices by distance "
               "from the single fault --\n\n");
   benchutil::Table t({"trial", "changed d=0", "d=1", "d=2", "d>2 (must be 0)"});
-  const auto g = graph::random_regular(400, 8, 9);
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(400, 8, 9));
+  const graph::GraphView g = rg.view();
   SsConfig cfg(g.n(), 8, PaletteMode::ODelta);
   for (int trial = 0; trial < 4; ++trial) {
     auto engine = make_engine(g, 8);
@@ -147,7 +149,8 @@ void line_graph_tasks() {
   benchutil::Table t({"Delta", "edge-coloring", "palette", "matching",
                       "stabilized"});
   for (std::size_t delta : {3, 5, 8}) {
-    const auto g = graph::random_regular(200, delta, 3 * delta);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(200, delta, 3 * delta));
+    const graph::GraphView g = rg.view();
     bool ok = true;
 
     selfstab::SsLineConfig ec(g.n(), delta, selfstab::LineTask::EdgeColoring);

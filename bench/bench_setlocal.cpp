@@ -25,7 +25,7 @@ namespace {
 /// bound is worst-case over ALL proper seeds, so the colors are spread over
 /// the whole palette (a hash start point per vertex) rather than greedily
 /// compacted — a compact seed would be trivially final already.
-std::vector<coloring::Color> seed_coloring(const graph::Graph& g,
+std::vector<coloring::Color> seed_coloring(graph::GraphView g,
                                            std::uint64_t palette) {
   std::vector<coloring::Color> colors(g.n(), palette);
   for (graph::Vertex v = 0; v < g.n(); ++v) {
@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
   benchutil::Table t({"Delta", "AG+reduce (ours)", "mixed exact (ours)",
                       "KW (prior best)", "palette", "proper"});
   for (std::size_t delta : {8, 16, 32, 64, 128}) {
-    const auto g = graph::random_regular(1000, delta, 5 * delta);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(1000, delta, 5 * delta));
+    const graph::GraphView g = rg.view();
     const std::uint64_t q0 = coloring::ag_modulus(delta, (delta + 1) * (delta + 1));
     const auto seed = seed_coloring(g, q0 * q0);
 

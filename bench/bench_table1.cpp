@@ -159,7 +159,8 @@ int main(int argc, char** argv) {
   runtime::IterativeOptions iter;
   iter.executor = opts.executor();
   for (std::size_t delta : {8, 16, 32, 64}) {
-    const auto g = graph::random_regular(3000, delta, 5 * delta + 1);
+    const auto rg = benchutil::resolve_graph(benchutil::regular_spec(3000, delta, 5 * delta + 1));
+    const graph::GraphView g = rg.view();
     // Hash-spread proper seed over the whole q^2 palette.
     const std::uint64_t q =
         coloring::ag_modulus(delta, (delta + 1) * (delta + 1));

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "agc/exec/executor.hpp"
+#include "agc/graph/spec.hpp"
 
 /// Minimal fixed-width table printer shared by the experiment harnesses,
 /// plus the shared bench flags (--threads/AGC_THREADS, --json) and a JSON
@@ -52,6 +53,24 @@ inline Options parse_options(int argc, char** argv) {
     }
   }
   return o;
+}
+
+/// Resolve a canonical GraphSpec string to the frozen CSR backend — bench
+/// binaries never mutate topology, so ReadOnly is always right
+/// (docs/SCALE.md).  Benches tag their rows with the same spec string, so
+/// the instance a row measures and the instance `agc-trace diff` keys on are
+/// spelled identically.
+[[nodiscard]] inline agc::graph::ResolvedGraph resolve_graph(
+    const std::string& spec) {
+  return agc::graph::GraphSpec::parse(spec).resolve(
+      agc::graph::Mutability::ReadOnly);
+}
+
+/// Canonical "regular:" spec string — the bench binaries' staple instance.
+[[nodiscard]] inline std::string regular_spec(std::size_t n, std::size_t d,
+                                              std::uint64_t seed) {
+  return "regular:n=" + std::to_string(n) + ",d=" + std::to_string(d) +
+         ",seed=" + std::to_string(seed);
 }
 
 /// Wall-clock stopwatch for speedup reporting.

@@ -71,19 +71,19 @@ struct ArbdefectiveResult : runtime::RunReport {
 /// hooks); the AG stage's round cap is the algorithm's own window, so
 /// RunOptions::max_rounds is ignored.
 [[nodiscard]] ArbdefectiveResult arbdefective_color(
-    const graph::Graph& g, std::size_t p, std::uint64_t id_space,
+    graph::GraphView g, std::size_t p, std::uint64_t id_space,
     const runtime::RunOptions& opts = {});
 
 /// The witness orientation of Lemma 6.2: monochromatic edges point toward
 /// the endpoint with the lexicographically smaller (finalize_round, id); its
 /// max out-degree bounds the arbdefect.  Edges between different classes are
 /// oriented arbitrarily (they do not matter for arboricity of the classes).
-[[nodiscard]] graph::Orientation arb_orientation(const graph::Graph& g,
+[[nodiscard]] graph::Orientation arb_orientation(graph::GraphView g,
                                                  const ArbdefectiveResult& arb);
 
 /// Max out-degree of arb_orientation over monochromatic edges only — the
 /// measured arbdefect witness.
-[[nodiscard]] std::size_t measured_arbdefect(const graph::Graph& g,
+[[nodiscard]] std::size_t measured_arbdefect(graph::GraphView g,
                                              const ArbdefectiveResult& arb);
 
 }  // namespace agc::arb

@@ -33,7 +33,7 @@ struct DefectiveResult {
 
 /// Compute a p-defective coloring of g starting from the identity ID-coloring
 /// over `id_space` (>= g.n()).
-[[nodiscard]] DefectiveResult defective_color(const graph::Graph& g, std::size_t p,
+[[nodiscard]] DefectiveResult defective_color(graph::GraphView g, std::size_t p,
                                               std::uint64_t id_space);
 
 }  // namespace agc::arb

@@ -37,13 +37,13 @@ struct ClasswiseResult : runtime::RunReport {
 
 /// Proper coloring with palette floor((1+eps)*Delta)+1, eps >= 0.
 [[nodiscard]] ClasswiseResult eps_delta_coloring(
-    const graph::Graph& g, double eps, std::uint64_t id_space = 0,
+    graph::GraphView g, double eps, std::uint64_t id_space = 0,
     const runtime::RunOptions& opts = {});
 
 /// Proper (Delta+1)-coloring via the same machinery with zero palette slack
 /// and beta = sqrt(Delta / log Delta) (the Theorem 6.4 parameterization).
 [[nodiscard]] ClasswiseResult sublinear_delta_plus_one(
-    const graph::Graph& g, std::uint64_t id_space = 0,
+    graph::GraphView g, std::uint64_t id_space = 0,
     const runtime::RunOptions& opts = {});
 
 }  // namespace agc::arb

@@ -42,7 +42,7 @@ class AgRule final : public runtime::IterativeRule {
 /// Run AG to completion: proper k-coloring -> proper q-coloring in <= q
 /// rounds.  `delta` is the degree bound the modulus is sized for.
 [[nodiscard]] runtime::IterativeResult additive_group_color(
-    const graph::Graph& g, std::vector<Color> initial, std::size_t delta,
+    graph::GraphView g, std::vector<Color> initial, std::size_t delta,
     const runtime::IterativeOptions& opts = {});
 
 }  // namespace agc::coloring

@@ -108,7 +108,7 @@ class MixedRule final : public runtime::IterativeRule {
 /// -> proper (Delta+1)-coloring, all in O(Delta) uniform locally-iterative
 /// rounds (no standard color reduction).
 [[nodiscard]] runtime::IterativeResult exact_delta_plus_one(
-    const graph::Graph& g, std::vector<Color> initial, std::size_t delta,
+    graph::GraphView g, std::vector<Color> initial, std::size_t delta,
     const runtime::IterativeOptions& opts = {});
 
 /// The 3-dimensional combined high/low rule (end of Section 7): high colors

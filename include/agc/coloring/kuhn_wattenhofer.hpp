@@ -65,7 +65,7 @@ class KwRule final : public runtime::IterativeRule {
 /// Run the full KW reduction: proper k-coloring -> proper (Delta+1)-coloring
 /// in O(Delta log(k/Delta)) rounds.
 [[nodiscard]] runtime::IterativeResult kuhn_wattenhofer_reduce(
-    const graph::Graph& g, std::vector<Color> initial, std::size_t delta,
+    graph::GraphView g, std::vector<Color> initial, std::size_t delta,
     const runtime::IterativeOptions& opts = {});
 
 }  // namespace agc::coloring

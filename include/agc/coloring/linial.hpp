@@ -97,7 +97,7 @@ class LinialRule final : public runtime::IterativeRule {
 /// over `id_space`) down to the O(Delta^2) fixed point in log* n + O(1)
 /// rounds.  Initial colors are lifted into the top interval automatically.
 [[nodiscard]] runtime::IterativeResult linial_color(
-    const graph::Graph& g, std::vector<Color> initial_ids, std::uint64_t id_space,
+    graph::GraphView g, std::vector<Color> initial_ids, std::uint64_t id_space,
     std::size_t delta, const runtime::IterativeOptions& opts = {});
 
 }  // namespace agc::coloring

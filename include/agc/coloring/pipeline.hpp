@@ -56,19 +56,19 @@ struct PipelineReport : runtime::RunReport {
   bool proper_each_round = false;  ///< the locally-iterative invariant
 };
 
-[[nodiscard]] PipelineReport color_delta_plus_one(const graph::Graph& g,
+[[nodiscard]] PipelineReport color_delta_plus_one(graph::GraphView g,
                                                   const PipelineOptions& opts = {});
 
 [[nodiscard]] PipelineReport color_delta_plus_one_exact(
-    const graph::Graph& g, const PipelineOptions& opts = {});
+    graph::GraphView g, const PipelineOptions& opts = {});
 
-[[nodiscard]] PipelineReport color_kuhn_wattenhofer(const graph::Graph& g,
+[[nodiscard]] PipelineReport color_kuhn_wattenhofer(graph::GraphView g,
                                                     const PipelineOptions& opts = {});
 
-[[nodiscard]] PipelineReport color_linial_greedy(const graph::Graph& g,
+[[nodiscard]] PipelineReport color_linial_greedy(graph::GraphView g,
                                                  const PipelineOptions& opts = {});
 
-[[nodiscard]] PipelineReport color_o_delta(const graph::Graph& g,
+[[nodiscard]] PipelineReport color_o_delta(graph::GraphView g,
                                            const PipelineOptions& opts = {});
 
 }  // namespace agc::coloring

@@ -43,7 +43,7 @@ class GreedyReduceRule final : public runtime::IterativeRule {
 /// Run the reduction to completion: proper k-coloring -> proper
 /// target-coloring in <= k - target rounds.
 [[nodiscard]] runtime::IterativeResult reduce_colors(
-    const graph::Graph& g, std::vector<Color> initial, std::uint64_t target,
+    graph::GraphView g, std::vector<Color> initial, std::uint64_t target,
     const runtime::IterativeOptions& opts = {});
 
 }  // namespace agc::coloring

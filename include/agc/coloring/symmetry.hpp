@@ -28,12 +28,12 @@ struct MisReport : runtime::RunReport {
 /// Reduce a proper coloring to an MIS on the engine (one broadcast per round;
 /// a vertex decides once every smaller-colored neighbor has decided, joining
 /// iff no neighbor joined).
-[[nodiscard]] MisReport mis_from_coloring(const graph::Graph& g,
+[[nodiscard]] MisReport mis_from_coloring(graph::GraphView g,
                                           const std::vector<Color>& colors,
                                           const runtime::IterativeOptions& opts = {});
 
 /// End to end: AG pipeline + MIS reduction, O(Delta + log* n) rounds total.
-[[nodiscard]] MisReport maximal_independent_set(const graph::Graph& g,
+[[nodiscard]] MisReport maximal_independent_set(graph::GraphView g,
                                                 const PipelineOptions& opts = {});
 
 /// RunReport core; `rounds` counts line-graph rounds (2x in the host graph).
@@ -45,12 +45,12 @@ struct MatchingReport : runtime::RunReport {
 /// Maximal matching = MIS on the line graph (Section 4.2's reduction, static
 /// form).  Round counts are line-graph rounds; a host-graph implementation
 /// pays the standard factor-2 simulation overhead.
-[[nodiscard]] MatchingReport maximal_matching(const graph::Graph& g,
+[[nodiscard]] MatchingReport maximal_matching(graph::GraphView g,
                                               const PipelineOptions& opts = {});
 
 /// RunReport core; `rounds` counts line-graph rounds.
 struct LineEdgeColoringReport : runtime::RunReport {
-  std::vector<Color> colors;  ///< aligned with g.edges()
+  std::vector<Color> colors;  ///< aligned with edge_list(g)
   std::size_t palette = 0;
   bool proper = false;
 };
@@ -58,6 +58,6 @@ struct LineEdgeColoringReport : runtime::RunReport {
 /// (2Delta-1)-edge-coloring by (Delta_L+1)-vertex-coloring L(G) — the LOCAL-
 /// model baseline that Section 5's direct CONGEST algorithm replaces.
 [[nodiscard]] LineEdgeColoringReport edge_coloring_via_line_graph(
-    const graph::Graph& g, const PipelineOptions& opts = {});
+    graph::GraphView g, const PipelineOptions& opts = {});
 
 }  // namespace agc::coloring

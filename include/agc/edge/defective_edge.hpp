@@ -30,19 +30,19 @@ struct EdgePair {
   std::uint32_t j = 0;  ///< head's incoming color, 1-based
 };
 
-/// The 2-defective pair coloring, aligned with g.edges().  Edge (u,v) with
+/// The 2-defective pair coloring, aligned with edge_list(g).  Edge (u,v) with
 /// u < v is oriented u -> v (toward the larger ID).
-[[nodiscard]] std::vector<EdgePair> kuhn_defective_pairs(const graph::Graph& g);
+[[nodiscard]] std::vector<EdgePair> kuhn_defective_pairs(graph::GraphView g);
 
-/// Within-class successor links: succ[e] is the index (into g.edges()) of
+/// Within-class successor links: succ[e] is the index (into edge_list(g)) of
 /// the class-<i,j> edge leaving e's head, or SIZE_MAX if none.
 [[nodiscard]] std::vector<std::size_t> class_successors(
-    const graph::Graph& g, const std::vector<EdgePair>& pairs);
+    graph::GraphView g, const std::vector<EdgePair>& pairs);
 
 /// The proper 3*Delta^2-edge-coloring after Cole-Vishkin defect removal:
 /// color(e) = ((i-1)*Delta + (j-1))*3 + k with k in {0,1,2}.  `rounds_out`,
 /// if non-null, receives the simulated round count (log* + O(1)).
 [[nodiscard]] std::vector<Color> defect_free_edge_coloring(
-    const graph::Graph& g, std::size_t* rounds_out = nullptr);
+    graph::GraphView g, std::size_t* rounds_out = nullptr);
 
 }  // namespace agc::edge

@@ -135,7 +135,7 @@ struct EdgeColoringOptions : runtime::RunOptions {
 
 /// RunReport core plus the edge coloring and its bandwidth accounting.
 struct EdgeColoringResult : runtime::RunReport {
-  std::vector<Color> colors;  ///< aligned with g.edges()
+  std::vector<Color> colors;  ///< aligned with edge_list(g)
   std::size_t palette = 0;
   bool proper = false;
   double avg_bits_per_edge = 0.0;
@@ -144,6 +144,6 @@ struct EdgeColoringResult : runtime::RunReport {
 
 /// Run the full distributed edge-coloring pipeline on g.
 [[nodiscard]] EdgeColoringResult color_edges_distributed(
-    const graph::Graph& g, const EdgeColoringOptions& opts = {});
+    graph::GraphView g, const EdgeColoringOptions& opts = {});
 
 }  // namespace agc::edge

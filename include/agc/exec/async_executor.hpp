@@ -71,7 +71,7 @@ class AsyncExecutor final : public runtime::RoundExecutor {
  private:
   void shard_window(runtime::RoundContext& ctx, std::size_t shard,
                     std::size_t rounds);
-  [[nodiscard]] bool vertex_ready(const graph::Graph& g, graph::Vertex v,
+  [[nodiscard]] bool vertex_ready(graph::GraphView g, graph::Vertex v,
                                   std::uint32_t k) const noexcept;
 
   ThreadPool pool_;

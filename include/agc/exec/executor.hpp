@@ -38,13 +38,32 @@ class ParallelExecutor final : public runtime::RoundExecutor {
 
   void round(runtime::RoundContext& ctx, runtime::Metrics& total) override;
 
+  /// The degree-aware shard boundaries the current round uses (bounds_[s]
+  /// .. bounds_[s+1] is shard s's vertex range).  Exposed for tests.
+  [[nodiscard]] const std::vector<graph::Vertex>& bounds() const noexcept {
+    return bounds_;
+  }
+
  private:
+  /// Recompute degree-balanced shard boundaries when the topology changed.
+  /// Shards stay contiguous (the arena's lane contract), but cuts fall on
+  /// cumulative-degree quantiles instead of vertex-count quantiles, so a
+  /// skewed degree distribution no longer piles all edge work onto a few
+  /// shards.  Any contiguous partition yields bit-identical results (the
+  /// shard-determinism contract), so rebalancing is purely a wall-clock
+  /// optimization.
+  void refresh_bounds(const runtime::RoundContext& ctx);
+
   ThreadPool pool_;
   /// Round-scoped context pointer read by the reusable phase tasks.  Only
   /// valid inside round(); engines never run rounds concurrently on one
   /// executor.
   runtime::RoundContext* ctx_ = nullptr;
   std::vector<runtime::Metrics> per_shard_;
+  std::vector<graph::Vertex> bounds_;  ///< size() + 1 cut points over [0, n)
+  std::size_t bounds_n_ = 0;
+  std::uint64_t bounds_version_ = 0;
+  bool bounds_built_ = false;
   std::function<void(std::size_t)> send_task_;
   std::function<void(std::size_t)> deliver_task_;
   std::function<void(std::size_t)> receive_task_;

@@ -63,9 +63,9 @@ class ChannelAdversary final : public runtime::ChannelHook {
                             runtime::FaultEventSink* recorder = nullptr)
       : config_(config), recorder_(recorder) {}
 
-  void begin_round(const runtime::MailboxArena& arena, const graph::Graph& g,
+  void begin_round(const runtime::MailboxArena& arena, graph::GraphView g,
                    std::uint64_t round) override;
-  void apply(runtime::MailboxArena& arena, const graph::Graph& g,
+  void apply(runtime::MailboxArena& arena, graph::GraphView g,
              graph::Vertex v, std::uint64_t round, std::size_t shard) override;
 
   [[nodiscard]] const char* name() const noexcept override { return "channel"; }
@@ -97,9 +97,9 @@ class ChannelPlayback final : public runtime::ChannelHook {
   /// `events` must outlive the playback; only channel-kind entries are used.
   explicit ChannelPlayback(const std::vector<runtime::FaultEvent>& events);
 
-  void begin_round(const runtime::MailboxArena& arena, const graph::Graph& g,
+  void begin_round(const runtime::MailboxArena& arena, graph::GraphView g,
                    std::uint64_t round) override;
-  void apply(runtime::MailboxArena& arena, const graph::Graph& g,
+  void apply(runtime::MailboxArena& arena, graph::GraphView g,
              graph::Vertex v, std::uint64_t round, std::size_t shard) override;
 
   [[nodiscard]] const char* name() const noexcept override { return "channel"; }

@@ -4,7 +4,7 @@
 #include <span>
 #include <vector>
 
-#include "agc/graph/graph.hpp"
+#include "agc/graph/view.hpp"
 
 /// \file checks.hpp
 /// Validity oracles for every object the algorithms produce: proper vertex /
@@ -16,7 +16,7 @@ namespace agc::graph {
 using Color = std::uint64_t;
 
 /// True iff no edge is monochromatic.
-[[nodiscard]] bool is_proper_coloring(const Graph& g, std::span<const Color> colors);
+[[nodiscard]] bool is_proper_coloring(GraphView g, std::span<const Color> colors);
 
 /// Number of distinct colors used.
 [[nodiscard]] std::size_t palette_size(std::span<const Color> colors);
@@ -26,38 +26,38 @@ using Color = std::uint64_t;
 
 /// defect(v) = number of neighbors sharing v's color; returns the per-vertex
 /// vector.
-[[nodiscard]] std::vector<std::size_t> defect_vector(const Graph& g,
+[[nodiscard]] std::vector<std::size_t> defect_vector(GraphView g,
                                                      std::span<const Color> colors);
 
 /// True iff every vertex has at most d same-colored neighbors.
-[[nodiscard]] bool is_defective_coloring(const Graph& g, std::span<const Color> colors,
+[[nodiscard]] bool is_defective_coloring(GraphView g, std::span<const Color> colors,
                                          std::size_t d);
 
 /// Degeneracy of g (smallest-last ordering).  For every graph,
 /// arboricity <= degeneracy <= 2*arboricity - 1, so degeneracy is the
 /// arbdefect witness used by tests: a b-arbdefective coloring has every color
 /// class with degeneracy <= 2b - 1.
-[[nodiscard]] std::size_t degeneracy(const Graph& g);
+[[nodiscard]] std::size_t degeneracy(GraphView g);
 
 /// Max over color classes of the degeneracy of the induced subgraph.
-[[nodiscard]] std::size_t max_class_degeneracy(const Graph& g,
+[[nodiscard]] std::size_t max_class_degeneracy(GraphView g,
                                                std::span<const Color> colors);
 
 /// True iff every color class induces a subgraph of degeneracy <= 2b-1
 /// (necessary condition for b-arbdefectiveness; also sufficient up to a
 /// factor 2 in b, which is how the paper states its O(p) bounds).
-[[nodiscard]] bool is_arbdefective_coloring(const Graph& g,
+[[nodiscard]] bool is_arbdefective_coloring(GraphView g,
                                             std::span<const Color> colors,
                                             std::size_t b);
 
 /// True iff `in_set` marks a maximal independent set of g.
-[[nodiscard]] bool is_mis(const Graph& g, const std::vector<bool>& in_set);
+[[nodiscard]] bool is_mis(GraphView g, const std::vector<bool>& in_set);
 
 /// True iff `matched` (indices into `edges`) is a maximal matching of g.
-[[nodiscard]] bool is_maximal_matching(const Graph& g, std::span<const Edge> matching);
+[[nodiscard]] bool is_maximal_matching(GraphView g, std::span<const Edge> matching);
 
 /// True iff no two incident edges share a color.  colors[i] colors edges()[i].
-[[nodiscard]] bool is_proper_edge_coloring(const Graph& g,
+[[nodiscard]] bool is_proper_edge_coloring(GraphView g,
                                            std::span<const Color> edge_colors);
 
 }  // namespace agc::graph

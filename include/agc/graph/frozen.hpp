@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "agc/graph/graph.hpp"
+
+/// \file frozen.hpp
+/// FrozenGraph — the immutable web-graph-scale substrate.
+///
+/// A frozen graph is a plain CSR: a 64-bit offset per vertex plus one packed
+/// 32-bit entry per directed edge, nothing else.  Compared to the mutable
+/// Graph's vector-of-vectors (a 24-byte header plus a separately allocated
+/// heap block per vertex), this is 8 bytes per vertex + 4 bytes per
+/// adjacency entry, contiguous, and cache-friendly to scan — the layout that
+/// makes n = 10^7..10^8 locally-iterative simulation memory-bound on the
+/// edge array instead of allocator-bound (docs/SCALE.md).
+///
+/// Offsets are 64-bit on purpose: at n = 10^8 and average degree 50 the
+/// directed-edge count 2m overflows uint32.  Neighbor lists are sorted, so a
+/// FrozenGraph built from a Graph (or streamed by GraphSpec::build_frozen)
+/// yields bit-identical executions to the mutable backend — GraphView
+/// (view.hpp) is the seam every algorithm reads through.
+///
+/// Mutation is deliberately absent.  Dynamic workloads (svc churn, faultlab
+/// adversaries) stay on the mutable Graph; the round engine materializes a
+/// mutable copy on first churn when it was handed a frozen view
+/// (Engine::add_edge, engine.hpp).
+
+namespace agc::graph {
+
+class FrozenGraph {
+ public:
+  FrozenGraph() : offsets_(1, 0) {}
+
+  /// Freeze a mutable graph (adjacency is already sorted, so this is one
+  /// O(n + m) copy).
+  [[nodiscard]] static FrozenGraph from_graph(const Graph& g);
+
+  /// Adopt a prebuilt CSR.  `offsets` must have n+1 entries with
+  /// offsets[0] == 0, be non-decreasing, and offsets[n] == targets.size();
+  /// each vertex's target range must be sorted and in [0, n).  Violations
+  /// throw std::invalid_argument (cheap shape checks) or assert (per-entry
+  /// checks, debug builds only — streaming builders already guarantee them).
+  [[nodiscard]] static FrozenGraph from_csr(std::vector<std::uint64_t> offsets,
+                                            std::vector<Vertex> targets);
+
+  [[nodiscard]] std::size_t n() const noexcept { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t m() const noexcept { return targets_.size() / 2; }
+
+  [[nodiscard]] std::size_t degree(Vertex v) const noexcept {
+    return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of v.
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    return {targets_.data() + offsets_[v], degree(v)};
+  }
+
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const noexcept;
+
+  [[nodiscard]] std::size_t max_degree() const noexcept { return max_degree_; }
+
+  /// Frozen topology never changes; the constant version means engines that
+  /// gate arena rebuilds on the version see at most one rebuild.
+  [[nodiscard]] std::uint64_t topology_version() const noexcept { return 0; }
+
+  /// Raw CSR access (streaming builders, serialization, shard planners).
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const Vertex> targets() const noexcept {
+    return targets_;
+  }
+
+  /// Resident bytes of the CSR arrays — the substance behind the
+  /// bytes-per-vertex rows in BENCH_scale.json (8 per vertex + 4 per
+  /// directed edge + O(1)).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return offsets_.capacity() * sizeof(std::uint64_t) +
+           targets_.capacity() * sizeof(Vertex) + sizeof(*this);
+  }
+
+  friend bool operator==(const FrozenGraph& a, const FrozenGraph& b) {
+    return a.offsets_ == b.offsets_ && a.targets_ == b.targets_;
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  ///< n+1, offsets_[0] == 0
+  std::vector<Vertex> targets_;         ///< 2m packed sorted neighbor lists
+  std::size_t max_degree_ = 0;
+};
+
+}  // namespace agc::graph

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "agc/graph/frozen.hpp"
 #include "agc/graph/graph.hpp"
 
 /// \file generators.hpp
@@ -72,6 +73,32 @@ namespace agc::graph {
 /// complete bipartite between consecutive position classes.  Dense, regular,
 /// odd-cycle-like: a classic hard instance for local color reduction.
 [[nodiscard]] Graph cycle_blowup(std::size_t len, std::size_t blow);
+
+/// Chung-Lu power-law graph: vertex v's expected degree is proportional to
+/// (v + 1)^(-1/(gamma-1)) — a degree sequence whose tail follows a power law
+/// with exponent `gamma` — scaled so the mean expected degree is avg_deg.
+/// Sampled in O(n + m) with the Miller-Hagberg skip algorithm over the
+/// monotone weight sequence, re-seeded every 2^12 source vertices so the
+/// stream can be replayed chunk by chunk (the frozen builder's two passes).
+[[nodiscard]] Graph random_powerlaw(std::size_t n, double gamma, double avg_deg,
+                                    std::uint64_t seed);
+
+// --- Streaming builders (web-graph scale, docs/SCALE.md) --------------------
+// Same (parameters, seed) -> bit-identical edge set as the Graph-returning
+// generator above, but written straight into a frozen CSR: one counting pass
+// and one fill pass over the replayed random stream, so no nested adjacency
+// vectors — and no second copy of the edge list — ever exist.
+
+/// G(n, p) streamed into a frozen CSR; equals
+/// FrozenGraph::from_graph(random_gnp(n, p, seed)) for every input.
+[[nodiscard]] FrozenGraph stream_gnp_frozen(std::size_t n, double p,
+                                            std::uint64_t seed);
+
+/// Chung-Lu power-law streamed into a frozen CSR; equals
+/// FrozenGraph::from_graph(random_powerlaw(n, gamma, avg_deg, seed)).
+[[nodiscard]] FrozenGraph stream_powerlaw_frozen(std::size_t n, double gamma,
+                                                 double avg_deg,
+                                                 std::uint64_t seed);
 
 /// A small deterministic PRNG (splitmix64 seeded xorshift) shared by the
 /// generators, exposed for tests and fault injection.

@@ -60,9 +60,6 @@ class Graph {
 
   [[nodiscard]] std::size_t max_degree() const noexcept;
 
-  /// All edges in canonical form, sorted lexicographically.
-  [[nodiscard]] std::vector<Edge> edges() const;
-
   /// Monotone counter bumped by every successful topology mutation
   /// (add_edge / remove_edge / add_vertex).  Consumers that cache structure
   /// derived from the adjacency lists — e.g. the round engine's mailbox

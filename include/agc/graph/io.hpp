@@ -4,7 +4,7 @@
 #include <string>
 
 #include "agc/graph/checks.hpp"
-#include "agc/graph/graph.hpp"
+#include "agc/graph/view.hpp"
 
 /// \file io.hpp
 /// Graph and coloring I/O so the library runs on user-supplied instances.
@@ -25,11 +25,11 @@ namespace agc::graph {
 [[nodiscard]] Graph read_edge_list_file(const std::string& path);
 
 /// Write in the DIMACS-flavored format above (1-based).
-void write_edge_list(std::ostream& out, const Graph& g);
+void write_edge_list(std::ostream& out, GraphView g);
 
 /// Graphviz DOT export; when `colors` is non-empty, vertices get a
 /// color-class label for quick visual inspection.
-void write_dot(std::ostream& out, const Graph& g,
+void write_dot(std::ostream& out, GraphView g,
                std::span<const Color> colors = {});
 
 /// CSV export of a coloring: "vertex,color" per line with a header row.

@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "agc/graph/graph.hpp"
+#include "agc/graph/view.hpp"
 
 /// \file line_graph.hpp
 /// The line graph L(G): one vertex per edge of G, adjacent iff the edges
@@ -21,6 +21,6 @@ struct LineGraph {
 
 /// Build L(G).  Vertices of L(G) are numbered by the lexicographic rank of
 /// their canonical G-edge, so the mapping is deterministic.
-[[nodiscard]] LineGraph line_graph(const Graph& g);
+[[nodiscard]] LineGraph line_graph(GraphView g);
 
 }  // namespace agc::graph

@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "agc/graph/graph.hpp"
+#include "agc/graph/view.hpp"
 
 /// \file orientation.hpp
 /// Edge orientations.  Kuhn's defective edge-coloring (Section 5) orients
@@ -24,15 +24,15 @@ struct Orientation {
 };
 
 /// Orient every edge toward the endpoint with the larger id (Kuhn's rule).
-[[nodiscard]] Orientation orient_by_id(const Graph& g);
+[[nodiscard]] Orientation orient_by_id(GraphView g);
 
 /// Orient every edge from the endpoint earlier in `order` toward the one
 /// later in it (order[v] = rank, 0 = first).  With a smallest-last
 /// (degeneracy) order this gives out-degree <= degeneracy.
-[[nodiscard]] Orientation orient_by_order(const Graph& g,
+[[nodiscard]] Orientation orient_by_order(GraphView g,
                                           std::span<const std::size_t> order);
 
 /// Smallest-last vertex order (rank per vertex); companion to degeneracy().
-[[nodiscard]] std::vector<std::size_t> smallest_last_order(const Graph& g);
+[[nodiscard]] std::vector<std::size_t> smallest_last_order(GraphView g);
 
 }  // namespace agc::graph

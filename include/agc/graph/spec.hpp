@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "agc/graph/frozen.hpp"
 #include "agc/graph/graph.hpp"
+#include "agc/graph/view.hpp"
 
 /// \file spec.hpp
 /// GraphSpec — a parse/format round-trippable description of a graph.
@@ -26,6 +29,36 @@
 
 namespace agc::graph {
 
+/// What a consumer intends to do with the graph it asks a spec for.  The
+/// algorithm entry points all read through GraphView, so almost every tool
+/// and bench wants ReadOnly — the frozen CSR backend, at a fraction of the
+/// adjacency-vector footprint.  Only consumers that churn topology (the agcd
+/// service, the faultlab adversaries) need Mutable.
+enum class Mutability : std::uint8_t { ReadOnly, Mutable };
+
+/// The result of GraphSpec::resolve(): owns whichever backend the caller's
+/// mutability need selected and exposes it uniformly as a GraphView.  The
+/// backend lives on the heap, so views taken from view() stay valid across
+/// moves of the ResolvedGraph itself.
+class ResolvedGraph {
+ public:
+  [[nodiscard]] GraphView view() const noexcept {
+    return frozen_ != nullptr ? GraphView(*frozen_) : GraphView(*dyn_);
+  }
+
+  /// True when backed by the frozen CSR (resolved ReadOnly).
+  [[nodiscard]] bool frozen() const noexcept { return frozen_ != nullptr; }
+
+  /// The mutable backend; throws std::logic_error when resolved ReadOnly.
+  [[nodiscard]] Graph& graph();
+
+ private:
+  friend class GraphSpec;
+  ResolvedGraph() = default;
+  std::unique_ptr<Graph> dyn_;
+  std::unique_ptr<FrozenGraph> frozen_;
+};
+
 class GraphSpec {
  public:
   GraphSpec() = default;
@@ -45,9 +78,24 @@ class GraphSpec {
   /// Generate (or, for `file:` specs, load) the graph.
   [[nodiscard]] Graph build() const;
 
+  /// Generate the graph straight into a frozen CSR.  For the streaming kinds
+  /// (`gnp`, `powerlaw`) no adjacency vectors are ever allocated — the edge
+  /// stream is replayed twice (count pass, fill pass) into the packed arrays
+  /// (docs/SCALE.md); other kinds build and compact.  Contract, pinned by
+  /// tests: identical to FrozenGraph::from_graph(build()) for every spec.
+  [[nodiscard]] FrozenGraph build_frozen() const;
+
+  /// Build behind the backend the caller's mutability need selects:
+  /// ReadOnly -> build_frozen() (CSR), Mutable -> build() (adjacency
+  /// vectors).  The one helper every tool and bench resolves its graph
+  /// argument through, so "which backend?" is decided in exactly one place.
+  [[nodiscard]] ResolvedGraph resolve(Mutability need) const;
+
   /// Coarse upper bound on the resident bytes of one built graph, from the
   /// parameters alone (no build needed).  The campaign scheduler's memory
-  /// budget admits jobs against this estimate (docs/SCHED.md).
+  /// budget admits jobs against this estimate (docs/SCHED.md).  Modeled on
+  /// the frozen CSR backend the scheduler's cache actually holds: 8-byte
+  /// offsets per vertex, two 4-byte directed entries per undirected edge.
   [[nodiscard]] std::size_t estimated_bytes() const {
     return estimated_bytes(0, 0);
   }
@@ -55,7 +103,10 @@ class GraphSpec {
   /// The same bound with vertex/edge churn headroom: a long-lived consumer
   /// that mutates its copy of the graph (the agcd service, docs/SERVICE.md)
   /// sizes its arena and admission against the graph it may *grow into*, not
-  /// the one the spec builds.  Churn never changes the spec itself —
+  /// the one the spec builds.  Headroom is charged at the mutable
+  /// adjacency-vector rate — churn implies a materialized Graph copy, which
+  /// pays per-vertex vector headers the CSR does not.  Churn never changes
+  /// the spec itself —
   /// to_string()/content_hash() describe the initial graph only, so cache
   /// keys stay valid however the built copy is mutated afterwards.
   [[nodiscard]] std::size_t estimated_bytes(std::uint64_t extra_vertices,

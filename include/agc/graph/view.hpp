@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cassert>
+#include <concepts>
+#include <span>
+#include <vector>
+
+#include "agc/graph/frozen.hpp"
+#include "agc/graph/graph.hpp"
+
+/// \file view.hpp
+/// GraphView — the read-only graph concept every algorithm runs on.
+///
+/// Two backends carry topology in this repo: the mutable Graph (svc churn,
+/// faultlab adversaries) and the immutable CSR FrozenGraph (everything at
+/// web-graph scale).  Algorithms never care which one they got — they only
+/// read n / m / degrees / sorted neighbor lists — so every entry point
+/// outside svc and faultlab takes a GraphView: a two-pointer, non-owning
+/// adapter over either backend, cheap to copy and implicit to construct, the
+/// way std::span adapts any contiguous container.
+///
+/// Dispatch is a single well-predicted branch per accessor (no vtable, no
+/// template explosion across the compiled subsystem libraries).  Both
+/// backends keep neighbor lists sorted, so executions are bit-identical
+/// whichever backend sits behind the view — pinned by the cross-backend
+/// golden tests in tests/test_scale.cpp.
+///
+/// Lifetime: like a span, a view never owns.  The backing graph must outlive
+/// every view over it; functions taking GraphView must not stash it beyond
+/// the call unless their contract says so (Engine documents its own rule).
+///
+/// The compile-time face of the same idea is the AdjacencyGraph concept
+/// below — Graph, FrozenGraph and GraphView itself all satisfy it, which is
+/// what the conformance suite iterates over.
+
+namespace agc::graph {
+
+/// Anything that looks like an immutable adjacency structure: the structural
+/// concept behind GraphView, satisfied by Graph, FrozenGraph and GraphView.
+template <typename G>
+concept AdjacencyGraph = requires(const G& g, Vertex v) {
+  { g.n() } -> std::convertible_to<std::size_t>;
+  { g.m() } -> std::convertible_to<std::size_t>;
+  { g.degree(v) } -> std::convertible_to<std::size_t>;
+  { g.neighbors(v) } -> std::convertible_to<std::span<const Vertex>>;
+  { g.has_edge(v, v) } -> std::convertible_to<bool>;
+  { g.max_degree() } -> std::convertible_to<std::size_t>;
+  { g.topology_version() } -> std::convertible_to<std::uint64_t>;
+};
+
+class GraphView {
+ public:
+  /*implicit*/ GraphView(const Graph& g) noexcept : dyn_(&g) {}
+  /*implicit*/ GraphView(const FrozenGraph& g) noexcept : frz_(&g) {}
+
+  [[nodiscard]] std::size_t n() const noexcept {
+    return dyn_ != nullptr ? dyn_->n() : frz_->n();
+  }
+  [[nodiscard]] std::size_t m() const noexcept {
+    return dyn_ != nullptr ? dyn_->m() : frz_->m();
+  }
+  [[nodiscard]] std::size_t degree(Vertex v) const noexcept {
+    return dyn_ != nullptr ? dyn_->degree(v) : frz_->degree(v);
+  }
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    return dyn_ != nullptr ? dyn_->neighbors(v) : frz_->neighbors(v);
+  }
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const noexcept {
+    return dyn_ != nullptr ? dyn_->has_edge(u, v) : frz_->has_edge(u, v);
+  }
+  [[nodiscard]] std::size_t max_degree() const noexcept {
+    return dyn_ != nullptr ? dyn_->max_degree() : frz_->max_degree();
+  }
+  [[nodiscard]] std::uint64_t topology_version() const noexcept {
+    return dyn_ != nullptr ? dyn_->topology_version() : 0;
+  }
+
+  /// True when the backend is the immutable CSR.
+  [[nodiscard]] bool frozen() const noexcept { return frz_ != nullptr; }
+
+  /// The mutable backend, or null when frozen.  Only svc/faultlab-adjacent
+  /// plumbing (e.g. the engine's copy-on-churn) may use this.
+  [[nodiscard]] const Graph* mutable_backend() const noexcept { return dyn_; }
+
+  /// Visit every edge once, in canonical (u < v) lexicographic order —
+  /// the streaming replacement for the deleted Graph::edges().  The visitor
+  /// receives (Vertex u, Vertex v); nothing is materialized.
+  template <typename F>
+  void for_each_edge(F&& visit) const {
+    const std::size_t nn = n();
+    for (Vertex u = 0; u < nn; ++u) {
+      for (const Vertex v : neighbors(u)) {
+        if (u < v) visit(u, v);
+      }
+    }
+  }
+
+ private:
+  const Graph* dyn_ = nullptr;
+  const FrozenGraph* frz_ = nullptr;
+};
+
+static_assert(AdjacencyGraph<Graph>);
+static_assert(AdjacencyGraph<FrozenGraph>);
+static_assert(AdjacencyGraph<GraphView>);
+
+/// Materialize the canonical sorted edge list.  Only for consumers whose
+/// *output* is an edge list (orientations, line graphs); per-edge scans use
+/// for_each_edge.  O(m) memory — do not call at web-graph scale.
+[[nodiscard]] inline std::vector<Edge> edge_list(GraphView g) {
+  std::vector<Edge> out;
+  out.reserve(g.m());
+  g.for_each_edge([&](Vertex u, Vertex v) { out.emplace_back(u, v); });
+  return out;
+}
+
+/// Copy a view into a fresh mutable Graph (the engine's copy-on-churn and
+/// tests).  Preserves adjacency exactly, so executions over the copy are
+/// bit-identical to executions over the view.
+[[nodiscard]] Graph materialize(GraphView g);
+
+}  // namespace agc::graph

@@ -5,7 +5,7 @@
 #include <span>
 #include <vector>
 
-#include "agc/graph/graph.hpp"
+#include "agc/graph/view.hpp"
 #include "agc/runtime/message.hpp"
 #include "agc/runtime/metrics.hpp"
 #include "agc/runtime/transport.hpp"
@@ -102,7 +102,17 @@ class FaultEventSink;  // faults.hpp — fault recording hook
 
 class Engine {
  public:
+  /// Owning: the engine takes the graph by value and mutates it directly
+  /// through the adversary interface below.
   Engine(graph::Graph g, Transport transport, EngineOptions opts = {});
+
+  /// View-backed: the engine runs read-only over the caller's topology
+  /// backend (a Graph or FrozenGraph that must outlive the engine) without
+  /// copying it.  The adversary interface still works: the first successful
+  /// topology mutation materializes a private mutable copy (copy-on-churn),
+  /// after which the run proceeds exactly as if the engine had owned the
+  /// graph from the start.
+  Engine(graph::GraphView g, Transport transport, EngineOptions opts = {});
 
   /// Create a program for every vertex.  Must be called before stepping.
   void install(const ProgramFactory& factory);
@@ -136,7 +146,7 @@ class Engine {
 
   [[nodiscard]] bool all_halted() const;
 
-  [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] graph::GraphView graph() const noexcept { return view_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
   [[nodiscard]] const Transport& transport() const noexcept { return transport_; }
   [[nodiscard]] std::size_t rounds() const noexcept { return metrics_.rounds; }
@@ -209,7 +219,16 @@ class Engine {
  private:
   void refresh_env(graph::Vertex v);
 
-  graph::Graph graph_;
+  /// Copy-on-churn: the mutable backing graph, materializing a private copy
+  /// of a view-backed topology (and re-pointing every env's neighbor span at
+  /// it) on first use.
+  graph::Graph& mutable_graph();
+
+  /// Heap-allocated so its address — which view_ and every env's neighbor
+  /// span may point into — survives Engine moves.  Null while the engine is
+  /// view-backed and unchurned.
+  std::unique_ptr<graph::Graph> owned_;
+  graph::GraphView view_;
   Transport transport_;
   EngineOptions opts_;
   ProgramFactory factory_;

@@ -71,7 +71,7 @@ struct IterativeResult : RunReport {
 };
 
 /// Run `rule` from the initial coloring until every color is final.
-[[nodiscard]] IterativeResult run_locally_iterative(const graph::Graph& g,
+[[nodiscard]] IterativeResult run_locally_iterative(graph::GraphView g,
                                                     std::vector<Color> initial,
                                                     const IterativeRule& rule,
                                                     const IterativeOptions& opts = {});
@@ -80,7 +80,7 @@ struct IterativeResult : RunReport {
 /// in Corollary 3.6), feeding each stage's final coloring to the next.
 /// Metrics and round counts accumulate into the returned result.
 [[nodiscard]] IterativeResult run_stages(
-    const graph::Graph& g, std::vector<Color> initial,
+    graph::GraphView g, std::vector<Color> initial,
     std::span<const IterativeRule* const> stages, const IterativeOptions& opts = {});
 
 }  // namespace agc::runtime

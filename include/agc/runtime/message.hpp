@@ -6,7 +6,7 @@
 #include <span>
 #include <vector>
 
-#include "agc/graph/graph.hpp"
+#include "agc/graph/view.hpp"
 
 /// \file message.hpp
 /// Messages and the flat mailbox arena of the synchronous round engine.
@@ -102,7 +102,7 @@ class MailboxArena {
 
   /// Rebuild the port tables iff the graph's topology changed since the last
   /// call.  O(1) when unchanged; O(n + m) after churn.
-  void ensure(const graph::Graph& g) {
+  void ensure(graph::GraphView g) {
     if (built_ && version_ == g.topology_version()) return;
     rebuild(g);
   }
@@ -309,7 +309,7 @@ class MailboxArena {
     return gp * stride_ + parity;
   }
 
-  void rebuild(const graph::Graph& g);
+  void rebuild(graph::GraphView g);
   void spill(std::uint32_t sl, std::size_t shard);  // inline slot -> run
   void grow(std::uint32_t sl, std::size_t shard);   // double a full run
 

@@ -34,7 +34,7 @@ namespace agc::runtime {
 
 /// Recompute the ROM view of `v` for round `round`.  Shared by the engine's
 /// topology-change hooks and the per-round send phase.
-void refresh_vertex_env(const graph::Graph& g, const EngineOptions& opts,
+void refresh_vertex_env(graph::GraphView g, const EngineOptions& opts,
                         std::uint64_t round, graph::Vertex v, VertexEnv& env);
 
 /// All state one round touches.  Messages live in the engine's MailboxArena;
@@ -44,7 +44,7 @@ void refresh_vertex_env(const graph::Graph& g, const EngineOptions& opts,
 /// shard id must always own the same range within a round.
 class RoundContext {
  public:
-  RoundContext(const graph::Graph& graph, const Transport& transport,
+  RoundContext(graph::GraphView graph, const Transport& transport,
                const EngineOptions& opts,
                std::vector<std::unique_ptr<VertexProgram>>& programs,
                std::vector<VertexEnv>& envs, EdgeBitLedger& ledger,
@@ -120,10 +120,10 @@ class RoundContext {
 
   /// The absolute round number of window-local epoch 0.
   [[nodiscard]] std::uint64_t base_round() const noexcept { return round_; }
-  [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] graph::GraphView graph() const noexcept { return graph_; }
 
  private:
-  const graph::Graph& graph_;
+  graph::GraphView graph_;
   const Transport& transport_;
   const EngineOptions& opts_;
   std::vector<std::unique_ptr<VertexProgram>>& programs_;

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "agc/graph/checks.hpp"
-#include "agc/graph/graph.hpp"
+#include "agc/graph/view.hpp"
 #include "agc/runtime/iterative.hpp"
 
 /// \file trace.hpp
@@ -26,8 +26,8 @@ class TraceRecorder {
  public:
   /// `is_final` mirrors the rule's predicate (passed separately so the
   /// recorder stays independent of the rule object's lifetime).
-  TraceRecorder(const graph::Graph& g, std::function<bool(Color)> is_final)
-      : g_(&g), is_final_(std::move(is_final)) {}
+  TraceRecorder(graph::GraphView g, std::function<bool(Color)> is_final)
+      : g_(g), is_final_(std::move(is_final)) {}
 
   /// The observer to install into IterativeOptions::on_round.
   [[nodiscard]] std::function<void(std::size_t, std::span<const Color>)> observer() {
@@ -49,7 +49,7 @@ class TraceRecorder {
   void write_ascii(std::ostream& out, std::size_t width = 60) const;
 
  private:
-  const graph::Graph* g_;
+  graph::GraphView g_;
   std::function<bool(Color)> is_final_;
   std::size_t offset_ = 0;  ///< cumulative rounds across pipeline stages
   std::vector<RoundTracePoint> points_;

@@ -67,12 +67,12 @@ class ChannelHook {
   /// Driving thread, once per engine step, after the arena's port tables are
   /// rebuilt (if churned) and before any send.  `round` is the 0-based engine
   /// round about to execute.
-  virtual void begin_round(const MailboxArena& arena, const graph::Graph& g,
+  virtual void begin_round(const MailboxArena& arena, graph::GraphView g,
                            std::uint64_t round) = 0;
 
   /// Attack the validated outgoing ports of sender `v` for round `round`.
   /// Executed by shard `shard` inside the send phase.
-  virtual void apply(MailboxArena& arena, const graph::Graph& g,
+  virtual void apply(MailboxArena& arena, graph::GraphView g,
                      graph::Vertex v, std::uint64_t round,
                      std::size_t shard) = 0;
 

@@ -209,7 +209,7 @@ struct CampaignReport {
 /// RunOptions to thread through (executor preset by the scheduler; the fault
 /// hooks are wired by the runner from spec.faults using attempt_seed()).
 struct RunnerContext {
-  const graph::Graph& g;
+  graph::GraphView g;
   const JobSpec& spec;
   runtime::RunOptions opts;
   std::size_t attempt = 1;  ///< 1-based retry attempt

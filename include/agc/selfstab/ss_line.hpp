@@ -84,7 +84,7 @@ class SsLineProgram final : public runtime::VertexProgram {
 
 [[nodiscard]] runtime::ProgramFactory ss_line_factory(const SsLineConfig& cfg);
 
-/// Edge colors aligned with engine.graph().edges(), read from the smaller
+/// Edge colors aligned with edge_list(engine.graph()), read from the smaller
 /// endpoint's replica.
 [[nodiscard]] std::vector<Color> current_edge_colors(runtime::Engine& engine);
 

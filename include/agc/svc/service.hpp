@@ -167,7 +167,7 @@ class Service {
   /// palette field width.  Retired vertices keep their last color.
   [[nodiscard]] std::vector<graph::Color> colors() const;
 
-  [[nodiscard]] const graph::Graph& graph() const noexcept {
+  [[nodiscard]] graph::GraphView graph() const noexcept {
     return engine_.graph();
   }
   [[nodiscard]] const selfstab::SsConfig& coloring_config() const noexcept {

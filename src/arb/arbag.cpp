@@ -24,7 +24,7 @@ Color ArbAgRule::step(Color own, std::span<const Color> neighbors) const {
   return pack(psi, a, (b + a) % q_, q_);
 }
 
-ArbdefectiveResult arbdefective_color(const graph::Graph& g, std::size_t p,
+ArbdefectiveResult arbdefective_color(graph::GraphView g, std::size_t p,
                                       std::uint64_t id_space,
                                       const runtime::RunOptions& opts) {
   ArbdefectiveResult result;
@@ -83,10 +83,10 @@ ArbdefectiveResult arbdefective_color(const graph::Graph& g, std::size_t p,
   return result;
 }
 
-graph::Orientation arb_orientation(const graph::Graph& g,
+graph::Orientation arb_orientation(graph::GraphView g,
                                    const ArbdefectiveResult& arb) {
   graph::Orientation o;
-  o.edges = g.edges();
+  o.edges = graph::edge_list(g);
   o.toward_second.resize(o.edges.size());
   auto key = [&](graph::Vertex v) {
     return std::pair{arb.finalize_round[v], v};
@@ -99,7 +99,7 @@ graph::Orientation arb_orientation(const graph::Graph& g,
   return o;
 }
 
-std::size_t measured_arbdefect(const graph::Graph& g,
+std::size_t measured_arbdefect(graph::GraphView g,
                                const ArbdefectiveResult& arb) {
   const auto o = arb_orientation(g, arb);
   std::vector<std::size_t> out(g.n(), 0);

@@ -41,7 +41,7 @@ struct Stage {
 /// One defective-Linial stage: every vertex picks the evaluation point with
 /// the fewest collisions.  Colors are palette-local (no interval offsets —
 /// the host loop runs stages in lockstep).
-std::vector<Color> defective_stage(const graph::Graph& g,
+std::vector<Color> defective_stage(graph::GraphView g,
                                    const std::vector<Color>& colors,
                                    const Stage& st) {
   const math::GF field(st.q);
@@ -99,7 +99,7 @@ std::pair<Stage, std::uint64_t> best_stage(std::uint64_t palette, std::size_t de
 
 }  // namespace
 
-DefectiveResult defective_color(const graph::Graph& g, std::size_t p,
+DefectiveResult defective_color(graph::GraphView g, std::size_t p,
                                 std::uint64_t id_space) {
   DefectiveResult result;
   const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);

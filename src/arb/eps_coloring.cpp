@@ -15,7 +15,7 @@ namespace {
 constexpr Color kUncolored = ~Color{0};
 
 /// Sequential class phases with proposal/commit conflict resolution.
-ClasswiseResult classwise_color(const graph::Graph& g, const ArbdefectiveResult& arb,
+ClasswiseResult classwise_color(graph::GraphView g, const ArbdefectiveResult& arb,
                                 std::uint64_t palette_size) {
   ClasswiseResult result;
   // Carry the arb stage's RunReport core (rounds, metrics, phase timings,
@@ -90,7 +90,7 @@ ClasswiseResult classwise_color(const graph::Graph& g, const ArbdefectiveResult&
 
 }  // namespace
 
-ClasswiseResult eps_delta_coloring(const graph::Graph& g, double eps,
+ClasswiseResult eps_delta_coloring(graph::GraphView g, double eps,
                                    std::uint64_t id_space,
                                    const runtime::RunOptions& opts) {
   const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
@@ -105,7 +105,7 @@ ClasswiseResult eps_delta_coloring(const graph::Graph& g, double eps,
   return classwise_color(g, arb, palette);
 }
 
-ClasswiseResult sublinear_delta_plus_one(const graph::Graph& g,
+ClasswiseResult sublinear_delta_plus_one(graph::GraphView g,
                                          std::uint64_t id_space,
                                          const runtime::RunOptions& opts) {
   const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);

@@ -39,7 +39,7 @@ std::uint32_t AgRule::color_bits() const {
   return runtime::width_of(code_.q * code_.q - 1);
 }
 
-runtime::IterativeResult additive_group_color(const graph::Graph& g,
+runtime::IterativeResult additive_group_color(graph::GraphView g,
                                               std::vector<Color> initial,
                                               std::size_t delta,
                                               const runtime::IterativeOptions& opts) {

@@ -274,7 +274,7 @@ std::vector<Color> Mixed3Rule::candidates(Color own) const {
   return out;
 }
 
-runtime::IterativeResult exact_delta_plus_one(const graph::Graph& g,
+runtime::IterativeResult exact_delta_plus_one(graph::GraphView g,
                                               std::vector<Color> initial,
                                               std::size_t delta,
                                               const runtime::IterativeOptions& opts) {

@@ -99,7 +99,7 @@ std::uint32_t KwRule::color_bits() const {
   return runtime::width_of(sched_.offset(0) + sched_.size(0) - 1);
 }
 
-runtime::IterativeResult kuhn_wattenhofer_reduce(const graph::Graph& g,
+runtime::IterativeResult kuhn_wattenhofer_reduce(graph::GraphView g,
                                                  std::vector<Color> initial,
                                                  std::size_t delta,
                                                  const runtime::IterativeOptions& opts) {

@@ -158,7 +158,7 @@ std::uint32_t LinialRule::color_bits() const {
   return runtime::width_of(sched_.total_span() - 1);
 }
 
-runtime::IterativeResult linial_color(const graph::Graph& g,
+runtime::IterativeResult linial_color(graph::GraphView g,
                                       std::vector<Color> initial_ids,
                                       std::uint64_t id_space, std::size_t delta,
                                       const runtime::IterativeOptions& opts) {

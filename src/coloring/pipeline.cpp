@@ -59,7 +59,7 @@ runtime::IterativeResult run_stage(PipelineReport& rep,
 }
 
 /// Shared preamble: identity coloring -> Linial fixed point.
-runtime::IterativeResult run_linial(const graph::Graph& g,
+runtime::IterativeResult run_linial(graph::GraphView g,
                                     const PipelineOptions& opts,
                                     const runtime::IterativeOptions& iter,
                                     std::size_t delta) {
@@ -68,7 +68,7 @@ runtime::IterativeResult run_linial(const graph::Graph& g,
   return linial_color(g, identity_coloring(g.n()), id_space, delta, iter);
 }
 
-void finish(PipelineReport& rep, const graph::Graph& g) {
+void finish(PipelineReport& rep, graph::GraphView g) {
   rep.palette = graph::palette_size(rep.colors);
   rep.proper = graph::is_proper_coloring(g, rep.colors);
 }
@@ -82,7 +82,7 @@ PipelineReport fresh_report() {
 
 }  // namespace
 
-PipelineReport color_delta_plus_one(const graph::Graph& g,
+PipelineReport color_delta_plus_one(graph::GraphView g,
                                     const PipelineOptions& opts) {
   const std::size_t delta = g.max_degree();
   PipelineReport rep = fresh_report();
@@ -107,7 +107,7 @@ PipelineReport color_delta_plus_one(const graph::Graph& g,
   return rep;
 }
 
-PipelineReport color_delta_plus_one_exact(const graph::Graph& g,
+PipelineReport color_delta_plus_one_exact(graph::GraphView g,
                                           const PipelineOptions& opts) {
   const std::size_t delta = g.max_degree();
   PipelineReport rep = fresh_report();
@@ -127,7 +127,7 @@ PipelineReport color_delta_plus_one_exact(const graph::Graph& g,
   return rep;
 }
 
-PipelineReport color_kuhn_wattenhofer(const graph::Graph& g,
+PipelineReport color_kuhn_wattenhofer(graph::GraphView g,
                                       const PipelineOptions& opts) {
   const std::size_t delta = g.max_degree();
   PipelineReport rep = fresh_report();
@@ -147,7 +147,7 @@ PipelineReport color_kuhn_wattenhofer(const graph::Graph& g,
   return rep;
 }
 
-PipelineReport color_linial_greedy(const graph::Graph& g,
+PipelineReport color_linial_greedy(graph::GraphView g,
                                    const PipelineOptions& opts) {
   const std::size_t delta = g.max_degree();
   PipelineReport rep = fresh_report();
@@ -167,7 +167,7 @@ PipelineReport color_linial_greedy(const graph::Graph& g,
   return rep;
 }
 
-PipelineReport color_o_delta(const graph::Graph& g, const PipelineOptions& opts) {
+PipelineReport color_o_delta(graph::GraphView g, const PipelineOptions& opts) {
   const std::size_t delta = g.max_degree();
   PipelineReport rep = fresh_report();
 

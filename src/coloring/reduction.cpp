@@ -26,7 +26,7 @@ Color GreedyReduceRule::step(Color own, std::span<const Color> neighbors) const 
   return candidate;  // <= Delta < target since at most Delta neighbors
 }
 
-runtime::IterativeResult reduce_colors(const graph::Graph& g,
+runtime::IterativeResult reduce_colors(graph::GraphView g,
                                        std::vector<Color> initial,
                                        std::uint64_t target,
                                        const runtime::IterativeOptions& opts) {

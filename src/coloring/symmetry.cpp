@@ -55,7 +55,7 @@ class MisWaveProgram final : public runtime::VertexProgram {
 
 }  // namespace
 
-MisReport mis_from_coloring(const graph::Graph& g, const std::vector<Color>& colors,
+MisReport mis_from_coloring(graph::GraphView g, const std::vector<Color>& colors,
                             const runtime::IterativeOptions& opts) {
   const std::uint64_t t0 = obs::monotonic_ns();
   MisReport rep;
@@ -107,7 +107,7 @@ MisReport mis_from_coloring(const graph::Graph& g, const std::vector<Color>& col
   return rep;
 }
 
-MisReport maximal_independent_set(const graph::Graph& g,
+MisReport maximal_independent_set(graph::GraphView g,
                                   const PipelineOptions& opts) {
   const auto colored = color_delta_plus_one(g, opts);
   auto rep = mis_from_coloring(g, colored.colors, opts.iter);
@@ -119,7 +119,7 @@ MisReport maximal_independent_set(const graph::Graph& g,
   return rep;
 }
 
-MatchingReport maximal_matching(const graph::Graph& g, const PipelineOptions& opts) {
+MatchingReport maximal_matching(graph::GraphView g, const PipelineOptions& opts) {
   MatchingReport rep;
   const auto lg = graph::line_graph(g);
   const auto mis = maximal_independent_set(lg.graph, opts);
@@ -132,7 +132,7 @@ MatchingReport maximal_matching(const graph::Graph& g, const PipelineOptions& op
   return rep;
 }
 
-LineEdgeColoringReport edge_coloring_via_line_graph(const graph::Graph& g,
+LineEdgeColoringReport edge_coloring_via_line_graph(graph::GraphView g,
                                                     const PipelineOptions& opts) {
   LineEdgeColoringReport rep;
   const auto lg = graph::line_graph(g);

@@ -6,8 +6,8 @@
 
 namespace agc::edge {
 
-std::vector<EdgePair> kuhn_defective_pairs(const graph::Graph& g) {
-  const auto edges = g.edges();
+std::vector<EdgePair> kuhn_defective_pairs(graph::GraphView g) {
+  const auto edges = graph::edge_list(g);
   std::vector<EdgePair> pairs(edges.size());
   // Outgoing rank at the tail / incoming rank at the head.  Edges are
   // canonical (first < second), so first is always the tail.
@@ -20,9 +20,9 @@ std::vector<EdgePair> kuhn_defective_pairs(const graph::Graph& g) {
   return pairs;
 }
 
-std::vector<std::size_t> class_successors(const graph::Graph& g,
+std::vector<std::size_t> class_successors(graph::GraphView g,
                                           const std::vector<EdgePair>& pairs) {
-  const auto edges = g.edges();
+  const auto edges = graph::edge_list(g);
   assert(pairs.size() == edges.size());
   // succ[e] = the edge leaving head(e) whose tail color is i(e) and head
   // color is j(e).  The tail assigns distinct outgoing colors, so there is
@@ -45,9 +45,9 @@ std::vector<std::size_t> class_successors(const graph::Graph& g,
   return succ;
 }
 
-std::vector<Color> defect_free_edge_coloring(const graph::Graph& g,
+std::vector<Color> defect_free_edge_coloring(graph::GraphView g,
                                              std::size_t* rounds_out) {
-  const auto edges = g.edges();
+  const auto edges = graph::edge_list(g);
   const auto pairs = kuhn_defective_pairs(g);
   const auto succ = class_successors(g, pairs);
 

@@ -332,7 +332,7 @@ std::optional<Color> EdgeColoringProgram::edge_color(graph::Vertex w) const {
 // Driver
 // ---------------------------------------------------------------------------
 
-EdgeColoringResult color_edges_distributed(const graph::Graph& g,
+EdgeColoringResult color_edges_distributed(graph::GraphView g,
                                            const EdgeColoringOptions& opts) {
   const std::uint64_t t0 = obs::monotonic_ns();
   EdgeColoringResult result;
@@ -377,7 +377,7 @@ EdgeColoringResult color_edges_distributed(const graph::Graph& g,
   auto extract = [&] {
     std::vector<Color> colors;
     colors.reserve(g.m());
-    for (const auto& e : g.edges()) {
+    for (const auto& e : graph::edge_list(g)) {
       const auto* prog =
           dynamic_cast<const EdgeColoringProgram*>(&engine.program(e.first));
       colors.push_back(prog->edge_color(e.second).value_or(0));

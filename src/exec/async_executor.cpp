@@ -62,7 +62,7 @@ std::size_t AsyncExecutor::run_window(runtime::RoundContext& ctx,
   return fired_max;
 }
 
-bool AsyncExecutor::vertex_ready(const graph::Graph& g, graph::Vertex v,
+bool AsyncExecutor::vertex_ready(graph::GraphView g, graph::Vertex v,
                                  std::uint32_t k) const noexcept {
   for (const graph::Vertex u : g.neighbors(v)) {
     if (sent_[u].load(std::memory_order_acquire) >= k + 1) continue;
@@ -80,7 +80,7 @@ void AsyncExecutor::shard_window(runtime::RoundContext& ctx, std::size_t shard,
   obs::PhaseProfile* profile = ctx.profile();
   obs::PhaseStats* stats = profile != nullptr ? profile->shard(shard) : nullptr;
   const std::uint64_t base = ctx.base_round();
-  const graph::Graph& g = ctx.graph();
+  const graph::GraphView g = ctx.graph();
   runtime::Metrics& metrics = per_shard_[shard];
 
   // The shard's work queue: vertices still live in this window, in schedule

@@ -11,23 +11,49 @@ ParallelExecutor::ParallelExecutor(std::size_t threads) : pool_(threads) {
   // Built once; each task reads the round-scoped ctx_ through `this`, so
   // round() never constructs a std::function (which would heap-allocate).
   send_task_ = [this](std::size_t s) {
-    const auto [b, e] = shard_range(ctx_->n(), pool_.size(), s);
-    ctx_->send(b, e, s);
+    ctx_->send(bounds_[s], bounds_[s + 1], s);
   };
   deliver_task_ = [this](std::size_t s) {
-    const auto [b, e] = shard_range(ctx_->n(), pool_.size(), s);
-    ctx_->deliver(b, e, per_shard_[s], s);
+    ctx_->deliver(bounds_[s], bounds_[s + 1], per_shard_[s], s);
   };
   receive_task_ = [this](std::size_t s) {
-    const auto [b, e] = shard_range(ctx_->n(), pool_.size(), s);
-    ctx_->receive(b, e, s);
+    ctx_->receive(bounds_[s], bounds_[s + 1], s);
   };
+}
+
+void ParallelExecutor::refresh_bounds(const runtime::RoundContext& ctx) {
+  const graph::GraphView g = ctx.graph();
+  const std::size_t shards = pool_.size();
+  if (bounds_built_ && bounds_n_ == g.n() &&
+      bounds_version_ == g.topology_version() &&
+      bounds_.size() == shards + 1) {
+    return;  // steady state: O(1) per round, like the mailbox arena
+  }
+  const std::size_t n = g.n();
+  bounds_.assign(shards + 1, static_cast<graph::Vertex>(n));
+  bounds_[0] = 0;
+  // Weight each vertex by degree + 1: edge work dominates send/deliver, the
+  // +1 keeps huge runs of isolated vertices from collapsing into one shard.
+  const std::uint64_t total = 2 * static_cast<std::uint64_t>(g.m()) + n;
+  std::uint64_t acc = 0;
+  std::size_t s = 1;
+  for (graph::Vertex v = 0; v < n && s < shards; ++v) {
+    acc += g.degree(v) + 1;
+    // Cut after v once the running weight crosses the s-th quantile.
+    while (s < shards && acc * shards >= total * s) {
+      bounds_[s++] = v + 1;
+    }
+  }
+  bounds_n_ = n;
+  bounds_version_ = g.topology_version();
+  bounds_built_ = true;
 }
 
 void ParallelExecutor::round(runtime::RoundContext& ctx,
                              runtime::Metrics& total) {
   const std::size_t shards = pool_.size();
   ctx.prepare(shards);
+  refresh_bounds(ctx);
   ctx_ = &ctx;
   per_shard_.assign(shards, runtime::Metrics{});  // capacity reused
 

@@ -68,12 +68,12 @@ void rebind(const MailboxArena& arena, std::vector<Word>& stash,
 }  // namespace
 
 void ChannelAdversary::begin_round(const MailboxArena& arena,
-                                   const graph::Graph& /*g*/,
+                                   graph::GraphView /*g*/,
                                    std::uint64_t /*round*/) {
   rebind(arena, stash_, stash_full_, arena_version_, bound_);
 }
 
-void ChannelAdversary::apply(MailboxArena& arena, const graph::Graph& g,
+void ChannelAdversary::apply(MailboxArena& arena, graph::GraphView g,
                              graph::Vertex v, std::uint64_t round,
                              std::size_t shard) {
   const auto nbrs = g.neighbors(v);
@@ -144,7 +144,7 @@ ChannelPlayback::ChannelPlayback(const std::vector<FaultEvent>& events) {
 }
 
 void ChannelPlayback::begin_round(const MailboxArena& arena,
-                                  const graph::Graph& /*g*/,
+                                  graph::GraphView /*g*/,
                                   std::uint64_t round) {
   rebind(arena, stash_, stash_full_, arena_version_, bound_);
   auto lo = std::lower_bound(
@@ -157,7 +157,7 @@ void ChannelPlayback::begin_round(const MailboxArena& arena,
   round_end_ = static_cast<std::size_t>(hi - channel_events_.begin());
 }
 
-void ChannelPlayback::apply(MailboxArena& arena, const graph::Graph& g,
+void ChannelPlayback::apply(MailboxArena& arena, graph::GraphView g,
                             graph::Vertex v, std::uint64_t round,
                             std::size_t shard) {
   const auto nbrs = g.neighbors(v);

@@ -208,7 +208,7 @@ StabilizationOutcome resettle(Engine& engine, const RunOptions& opts,
 
 CheckFn coloring_check(const selfstab::SsConfig& cfg) {
   return [&cfg](Engine& engine) -> Violation {
-    const graph::Graph& g = engine.graph();
+    const graph::GraphView g = engine.graph();
     for (graph::Vertex u = 0; u < g.n(); ++u) {
       const auto ram = engine.ram(u);
       const std::uint64_t cu = ram.empty() ? 0 : cfg.truncate(ram[0]);

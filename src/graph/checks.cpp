@@ -8,7 +8,7 @@
 
 namespace agc::graph {
 
-bool is_proper_coloring(const Graph& g, std::span<const Color> colors) {
+bool is_proper_coloring(GraphView g, std::span<const Color> colors) {
   assert(colors.size() == g.n());
   for (Vertex u = 0; u < g.n(); ++u) {
     for (Vertex v : g.neighbors(u)) {
@@ -29,7 +29,7 @@ Color max_color(std::span<const Color> colors) {
   return m;
 }
 
-std::vector<std::size_t> defect_vector(const Graph& g, std::span<const Color> colors) {
+std::vector<std::size_t> defect_vector(GraphView g, std::span<const Color> colors) {
   assert(colors.size() == g.n());
   std::vector<std::size_t> defect(g.n(), 0);
   for (Vertex u = 0; u < g.n(); ++u) {
@@ -40,14 +40,14 @@ std::vector<std::size_t> defect_vector(const Graph& g, std::span<const Color> co
   return defect;
 }
 
-bool is_defective_coloring(const Graph& g, std::span<const Color> colors,
+bool is_defective_coloring(GraphView g, std::span<const Color> colors,
                            std::size_t d) {
   const auto defect = defect_vector(g, colors);
   return std::all_of(defect.begin(), defect.end(),
                      [d](std::size_t x) { return x <= d; });
 }
 
-std::size_t degeneracy(const Graph& g) {
+std::size_t degeneracy(GraphView g) {
   // Smallest-last ordering with bucket queues: O(n + m).
   const std::size_t n = g.n();
   if (n == 0) return 0;
@@ -87,7 +87,7 @@ std::size_t degeneracy(const Graph& g) {
   return degeneracy_val;
 }
 
-std::size_t max_class_degeneracy(const Graph& g, std::span<const Color> colors) {
+std::size_t max_class_degeneracy(GraphView g, std::span<const Color> colors) {
   assert(colors.size() == g.n());
   // Partition vertices by color, build each induced subgraph, take degeneracy.
   std::map<Color, std::vector<Vertex>> classes;
@@ -110,12 +110,12 @@ std::size_t max_class_degeneracy(const Graph& g, std::span<const Color> colors) 
   return worst;
 }
 
-bool is_arbdefective_coloring(const Graph& g, std::span<const Color> colors,
+bool is_arbdefective_coloring(GraphView g, std::span<const Color> colors,
                               std::size_t b) {
   return max_class_degeneracy(g, colors) <= (b == 0 ? 0 : 2 * b - 1);
 }
 
-bool is_mis(const Graph& g, const std::vector<bool>& in_set) {
+bool is_mis(GraphView g, const std::vector<bool>& in_set) {
   assert(in_set.size() == g.n());
   for (Vertex u = 0; u < g.n(); ++u) {
     bool has_set_neighbor = false;
@@ -130,7 +130,7 @@ bool is_mis(const Graph& g, const std::vector<bool>& in_set) {
   return true;
 }
 
-bool is_maximal_matching(const Graph& g, std::span<const Edge> matching) {
+bool is_maximal_matching(GraphView g, std::span<const Edge> matching) {
   std::vector<bool> covered(g.n(), false);
   for (const auto& [u, v] : matching) {
     if (!g.has_edge(u, v)) return false;
@@ -138,21 +138,25 @@ bool is_maximal_matching(const Graph& g, std::span<const Edge> matching) {
     covered[u] = covered[v] = true;
   }
   // Maximality: every edge has a covered endpoint.
-  for (const auto& [u, v] : g.edges()) {
-    if (!covered[u] && !covered[v]) return false;
-  }
-  return true;
+  bool maximal = true;
+  g.for_each_edge([&](Vertex u, Vertex v) {
+    if (!covered[u] && !covered[v]) maximal = false;
+  });
+  return maximal;
 }
 
-bool is_proper_edge_coloring(const Graph& g, std::span<const Color> edge_colors) {
-  const auto edges = g.edges();
-  assert(edge_colors.size() == edges.size());
+bool is_proper_edge_coloring(GraphView g, std::span<const Color> edge_colors) {
+  assert(edge_colors.size() == g.m());
   // For each vertex, the colors of incident edges must be pairwise distinct.
+  // Edge i is the i-th edge in canonical (u < v) lexicographic order — the
+  // order for_each_edge streams in.
   std::vector<std::vector<Color>> incident(g.n());
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    incident[edges[i].first].push_back(edge_colors[i]);
-    incident[edges[i].second].push_back(edge_colors[i]);
-  }
+  std::size_t i = 0;
+  g.for_each_edge([&](Vertex u, Vertex v) {
+    incident[u].push_back(edge_colors[i]);
+    incident[v].push_back(edge_colors[i]);
+    ++i;
+  });
   for (auto& cols : incident) {
     std::sort(cols.begin(), cols.end());
     if (std::adjacent_find(cols.begin(), cols.end()) != cols.end()) return false;

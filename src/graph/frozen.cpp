@@ -1,0 +1,59 @@
+#include "agc/graph/frozen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace agc::graph {
+
+FrozenGraph FrozenGraph::from_graph(const Graph& g) {
+  FrozenGraph out;
+  const std::size_t n = g.n();
+  out.offsets_.assign(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    out.offsets_[v + 1] = out.offsets_[v] + g.degree(v);
+    out.max_degree_ = std::max(out.max_degree_, g.degree(v));
+  }
+  out.targets_.resize(out.offsets_[n]);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    std::copy(nbrs.begin(), nbrs.end(), out.targets_.begin() +
+                                            static_cast<std::ptrdiff_t>(out.offsets_[v]));
+  }
+  return out;
+}
+
+FrozenGraph FrozenGraph::from_csr(std::vector<std::uint64_t> offsets,
+                                  std::vector<Vertex> targets) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != targets.size()) {
+    throw std::invalid_argument(
+        "FrozenGraph::from_csr: offsets must span [0, targets.size()]");
+  }
+  FrozenGraph out;
+  out.offsets_ = std::move(offsets);
+  out.targets_ = std::move(targets);
+  const std::size_t n = out.n();
+  for (Vertex v = 0; v < n; ++v) {
+    if (out.offsets_[v + 1] < out.offsets_[v]) {
+      throw std::invalid_argument("FrozenGraph::from_csr: offsets decrease");
+    }
+    out.max_degree_ = std::max(out.max_degree_, out.degree(v));
+#ifndef NDEBUG
+    const auto nbrs = out.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      assert(nbrs[i] < n && nbrs[i] != v);
+      assert(i == 0 || nbrs[i - 1] < nbrs[i]);
+    }
+#endif
+  }
+  return out;
+}
+
+bool FrozenGraph::has_edge(Vertex u, Vertex v) const noexcept {
+  if (u >= n() || v >= n() || u == v) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace agc::graph

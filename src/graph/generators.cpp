@@ -1,6 +1,8 @@
 #include "agc/graph/generators.hpp"
 
 #include <algorithm>
+
+#include "agc/graph/view.hpp"
 #include <cassert>
 #include <cmath>
 #include <numeric>
@@ -117,12 +119,17 @@ Graph binary_tree(std::size_t n) {
 // Random generators.
 // ---------------------------------------------------------------------------
 
-Graph random_gnp(std::size_t n, double p, std::uint64_t seed) {
-  Graph g(n);
-  if (p <= 0.0 || n < 2) return g;
+namespace {
+
+/// The G(n, p) edge stream (geometric skipping, Batagelj-Brandes), factored
+/// out so the frozen CSR builder can replay the identical stream twice
+/// (count pass, fill pass).  Emits (v, w) with w < v, v ascending, w
+/// ascending within each v — which keeps CSR neighbor lists sorted with no
+/// post-pass (see stream_to_csr).  Callers handle p >= 1 and n < 2.
+template <typename Emit>
+void gnp_stream(std::size_t n, double p, std::uint64_t seed, Emit&& emit) {
+  if (p <= 0.0 || n < 2) return;
   Rng rng(seed);
-  if (p >= 1.0) return complete(n);
-  // Geometric skipping (Batagelj-Brandes) for sparse p.
   const double logq = std::log(1.0 - p);
   std::int64_t v = 1;
   std::int64_t w = -1;
@@ -134,9 +141,107 @@ Graph random_gnp(std::size_t n, double p, std::uint64_t seed) {
       w -= v;
       ++v;
     }
-    if (v < nn) g.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(w));
+    if (v < nn) emit(static_cast<Vertex>(v), static_cast<Vertex>(w));
   }
+}
+
+/// The Chung-Lu power-law edge stream (Miller-Hagberg skip sampling over the
+/// monotone-decreasing weight sequence w_v ∝ (v+1)^(-1/(gamma-1)), scaled to
+/// mean avg_deg).  The RNG is re-seeded per 4096-source chunk, so each chunk
+/// of the stream depends only on (seed, chunk index) — replayable piecewise.
+/// Emits (u, v) with u < v, u ascending, v ascending within each u.
+constexpr std::size_t kPowerlawChunk = std::size_t{1} << 12;
+
+template <typename Emit>
+void chung_lu_stream(std::size_t n, double gamma, double avg_deg,
+                     std::uint64_t seed, Emit&& emit) {
+  if (n < 2 || avg_deg <= 0.0 || gamma <= 1.0) return;
+  const double alpha = 1.0 / (gamma - 1.0);
+  std::vector<double> weight(n);
+  double sum = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    weight[v] = std::pow(static_cast<double>(v + 1), -alpha);
+    sum += weight[v];
+  }
+  const double scale = avg_deg * static_cast<double>(n) / sum;
+  for (double& x : weight) x *= scale;
+  const double total = avg_deg * static_cast<double>(n);  // = sum of weights
+
+  Rng rng(seed);
+  for (std::size_t u = 0; u + 1 < n; ++u) {
+    if (u % kPowerlawChunk == 0) {
+      rng = Rng(seed ^ (0x9E3779B97F4A7C15ULL * (u / kPowerlawChunk + 1)));
+    }
+    std::size_t v = u + 1;
+    double p = std::min(1.0, weight[u] * weight[v] / total);
+    while (v < n && p > 0.0) {
+      if (p < 1.0) {
+        const double r = rng.uniform();
+        v += static_cast<std::size_t>(
+            std::floor(std::log(1.0 - r) / std::log(1.0 - p)));
+      }
+      if (v >= n) break;
+      // Weights decrease with v, so p bounds the true probability q from
+      // above; accept the skipped-to candidate with probability q / p.
+      const double q = std::min(1.0, weight[u] * weight[v] / total);
+      if (rng.uniform() < q / p) {
+        emit(static_cast<Vertex>(u), static_cast<Vertex>(v));
+      }
+      p = q;
+      ++v;
+    }
+  }
+}
+
+/// Replay `stream` twice — once to count degrees, once to fill — writing the
+/// emitted undirected edges straight into a frozen CSR.  Both generators
+/// above emit each vertex's neighbors in ascending order (smaller endpoints
+/// during its own source block, larger ones as later blocks reach it), so
+/// the filled target ranges are already sorted.
+template <typename Stream>
+FrozenGraph stream_to_csr(std::size_t n, Stream&& stream) {
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  stream([&](Vertex a, Vertex b) {
+    ++offsets[a + 1];
+    ++offsets[b + 1];
+  });
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<Vertex> targets(offsets[n]);
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  stream([&](Vertex a, Vertex b) {
+    targets[cursor[a]++] = b;
+    targets[cursor[b]++] = a;
+  });
+  return FrozenGraph::from_csr(std::move(offsets), std::move(targets));
+}
+
+}  // namespace
+
+Graph random_gnp(std::size_t n, double p, std::uint64_t seed) {
+  if (p >= 1.0 && n >= 2) return complete(n);
+  Graph g(n);
+  gnp_stream(n, p, seed,
+             [&](Vertex v, Vertex w) { g.add_edge(v, w); });
   return g;
+}
+
+Graph random_powerlaw(std::size_t n, double gamma, double avg_deg,
+                      std::uint64_t seed) {
+  Graph g(n);
+  chung_lu_stream(n, gamma, avg_deg, seed,
+                  [&](Vertex u, Vertex v) { g.add_edge(u, v); });
+  return g;
+}
+
+FrozenGraph stream_gnp_frozen(std::size_t n, double p, std::uint64_t seed) {
+  if (p >= 1.0 && n >= 2) return FrozenGraph::from_graph(complete(n));
+  return stream_to_csr(n, [&](auto&& emit) { gnp_stream(n, p, seed, emit); });
+}
+
+FrozenGraph stream_powerlaw_frozen(std::size_t n, double gamma, double avg_deg,
+                                   std::uint64_t seed) {
+  return stream_to_csr(
+      n, [&](auto&& emit) { chung_lu_stream(n, gamma, avg_deg, seed, emit); });
 }
 
 Graph random_regular(std::size_t n, std::size_t d, std::uint64_t seed) {
@@ -233,10 +338,10 @@ Graph barabasi_albert(std::size_t n, std::size_t attach, std::uint64_t seed) {
   }
   // Degree-proportional sampling via the repeated-endpoints list.
   std::vector<Vertex> endpoints;
-  for (const auto& [u, v] : g.edges()) {
+  GraphView(g).for_each_edge([&](Vertex u, Vertex v) {
     endpoints.push_back(u);
     endpoints.push_back(v);
-  }
+  });
   for (Vertex v = static_cast<Vertex>(attach + 1); v < n; ++v) {
     std::size_t added = 0;
     std::size_t guard = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "agc/graph/view.hpp"
+
 namespace agc::graph {
 
 Graph Graph::from_edges(std::size_t n, std::span<const Edge> edges) {
@@ -66,14 +68,14 @@ std::size_t Graph::max_degree() const noexcept {
   return d;
 }
 
-std::vector<Edge> Graph::edges() const {
-  std::vector<Edge> out;
-  out.reserve(m_);
-  for (Vertex u = 0; u < n(); ++u) {
-    for (Vertex v : adj_[u]) {
-      if (u < v) out.emplace_back(u, v);
-    }
-  }
+Graph materialize(GraphView g) {
+  Graph out(g.n());
+  // Canonical order means every insertion appends at the tail of both
+  // endpoint lists, so the copy is O(m log dmax) with no mid-vector moves.
+  g.for_each_edge([&](Vertex u, Vertex v) {
+    [[maybe_unused]] const bool inserted = out.add_edge(u, v);
+    assert(inserted);
+  });
   return out;
 }
 

@@ -77,15 +77,15 @@ Graph read_edge_list_file(const std::string& path) {
   return read_edge_list(in);
 }
 
-void write_edge_list(std::ostream& out, const Graph& g) {
+void write_edge_list(std::ostream& out, GraphView g) {
   out << "c written by agcolor\n";
   out << "p edge " << g.n() << " " << g.m() << "\n";
-  for (const auto& [u, v] : g.edges()) {
+  g.for_each_edge([&](Vertex u, Vertex v) {
     out << "e " << (u + 1) << " " << (v + 1) << "\n";
-  }
+  });
 }
 
-void write_dot(std::ostream& out, const Graph& g, std::span<const Color> colors) {
+void write_dot(std::ostream& out, GraphView g, std::span<const Color> colors) {
   out << "graph agcolor {\n  node [shape=circle];\n";
   for (Vertex v = 0; v < g.n(); ++v) {
     out << "  v" << v;
@@ -95,9 +95,9 @@ void write_dot(std::ostream& out, const Graph& g, std::span<const Color> colors)
     }
     out << ";\n";
   }
-  for (const auto& [u, v] : g.edges()) {
+  g.for_each_edge([&](Vertex u, Vertex v) {
     out << "  v" << u << " -- v" << v << ";\n";
-  }
+  });
   out << "}\n";
 }
 

@@ -12,9 +12,9 @@ Vertex LineGraph::vertex_of(Edge e) const {
   return static_cast<Vertex>(graph.n());
 }
 
-LineGraph line_graph(const Graph& g) {
+LineGraph line_graph(GraphView g) {
   LineGraph lg;
-  lg.edge_of = g.edges();  // already lexicographically sorted
+  lg.edge_of = edge_list(g);  // already lexicographically sorted
   lg.graph = Graph(lg.edge_of.size());
 
   // Group L(G) vertices by shared G-endpoint and connect within each group.

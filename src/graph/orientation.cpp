@@ -19,17 +19,17 @@ std::size_t Orientation::max_out_degree(std::size_t n) const {
   return out.empty() ? 0 : *std::max_element(out.begin(), out.end());
 }
 
-Orientation orient_by_id(const Graph& g) {
+Orientation orient_by_id(GraphView g) {
   Orientation o;
-  o.edges = g.edges();
+  o.edges = edge_list(g);
   o.toward_second.assign(o.edges.size(), true);  // first < second always
   return o;
 }
 
-Orientation orient_by_order(const Graph& g, std::span<const std::size_t> order) {
+Orientation orient_by_order(GraphView g, std::span<const std::size_t> order) {
   assert(order.size() == g.n());
   Orientation o;
-  o.edges = g.edges();
+  o.edges = edge_list(g);
   o.toward_second.resize(o.edges.size());
   for (std::size_t i = 0; i < o.edges.size(); ++i) {
     const auto& [u, v] = o.edges[i];
@@ -41,7 +41,7 @@ Orientation orient_by_order(const Graph& g, std::span<const std::size_t> order) 
   return o;
 }
 
-std::vector<std::size_t> smallest_last_order(const Graph& g) {
+std::vector<std::size_t> smallest_last_order(GraphView g) {
   const std::size_t n = g.n();
   std::vector<std::size_t> rank(n, 0);
   if (n == 0) return rank;

@@ -49,6 +49,11 @@ const std::vector<KindDef>& kinds() {
         {"dmax", ParamType::U64},
         {"m", ParamType::U64},
         {"seed", ParamType::U64}}},
+      {"powerlaw",
+       {{"n", ParamType::U64},
+        {"gamma", ParamType::F64},
+        {"avgdeg", ParamType::F64},
+        {"seed", ParamType::U64}}},
   };
   return defs;
 }
@@ -222,13 +227,46 @@ Graph GraphSpec::build() const {
   if (kind_ == "bounded") {
     return random_bounded_degree(num("n"), num("dmax"), num("m"), num("seed"));
   }
+  if (kind_ == "powerlaw") {
+    return random_powerlaw(num("n"), real("gamma"), real("avgdeg"), num("seed"));
+  }
   throw std::invalid_argument("GraphSpec::build: unknown kind '" + kind_ + "'");
+}
+
+FrozenGraph GraphSpec::build_frozen() const {
+  // The streaming kinds write straight into the CSR; everything else is
+  // small enough that build-then-compact is fine.
+  if (kind_ == "gnp") return stream_gnp_frozen(num("n"), real("p"), num("seed"));
+  if (kind_ == "powerlaw") {
+    return stream_powerlaw_frozen(num("n"), real("gamma"), real("avgdeg"),
+                                  num("seed"));
+  }
+  return FrozenGraph::from_graph(build());
+}
+
+ResolvedGraph GraphSpec::resolve(Mutability need) const {
+  ResolvedGraph out;
+  if (need == Mutability::ReadOnly) {
+    out.frozen_ = std::make_unique<FrozenGraph>(build_frozen());
+  } else {
+    out.dyn_ = std::make_unique<Graph>(build());
+  }
+  return out;
+}
+
+Graph& ResolvedGraph::graph() {
+  if (dyn_ == nullptr) {
+    throw std::logic_error(
+        "ResolvedGraph::graph: resolved ReadOnly (frozen CSR backend)");
+  }
+  return *dyn_;
 }
 
 std::size_t GraphSpec::estimated_bytes(std::uint64_t extra_vertices,
                                        std::uint64_t extra_edges) const {
-  // n and an expected edge count per kind; the constant per vertex/edge is
-  // deliberately generous (adjacency entry + CSR mirror + engine copy).
+  // n and an expected edge count per kind; the base is charged at the frozen
+  // CSR rate (what the scheduler's cache holds), churn headroom at the
+  // mutable adjacency-vector rate (what a churning consumer materializes).
   auto nm = [&]() -> std::pair<std::uint64_t, std::uint64_t> {
     if (kind_ == "gnp") {
       const auto n = num("n");
@@ -254,10 +292,18 @@ std::size_t GraphSpec::estimated_bytes(std::uint64_t extra_vertices,
     if (kind_ == "caterpillar") return {num("spine") * (1 + num("legs")), num("spine") * (2 + num("legs"))};
     if (kind_ == "blowup") return {num("len") * num("blow"), num("len") * num("blow") * num("blow")};
     if (kind_ == "bounded") return {num("n"), num("m")};
+    if (kind_ == "powerlaw") {
+      return {num("n"),
+              static_cast<std::uint64_t>(real("avgdeg") * double(num("n")) / 2.0)};
+    }
     return {1 << 16, 1 << 18};  // file: and anything unknown — a safe default
   }();
-  return 64 * (nm.first + extra_vertices + 1) +
-         16 * (nm.second + extra_edges + 1);
+  // CSR: one 8-byte offset per vertex (+ sentinel), two 4-byte directed
+  // entries per undirected edge.  Churn headroom: 48/vertex covers the
+  // adjacency-vector header plus allocator slack, 16/edge the two directed
+  // 4-byte entries plus growth slack.
+  return 8 * (nm.first + 1) + 8 * nm.second +
+         48 * extra_vertices + 16 * extra_edges;
 }
 
 }  // namespace agc::graph

@@ -10,20 +10,40 @@
 namespace agc::runtime {
 
 Engine::Engine(graph::Graph g, Transport transport, EngineOptions opts)
-    : graph_(std::move(g)), transport_(transport), opts_(opts) {
-  envs_.resize(graph_.n());
-  for (graph::Vertex v = 0; v < graph_.n(); ++v) refresh_env(v);
+    : owned_(std::make_unique<graph::Graph>(std::move(g))),
+      view_(*owned_),
+      transport_(transport),
+      opts_(opts) {
+  envs_.resize(view_.n());
+  for (graph::Vertex v = 0; v < view_.n(); ++v) refresh_env(v);
+}
+
+Engine::Engine(graph::GraphView g, Transport transport, EngineOptions opts)
+    : view_(g), transport_(transport), opts_(opts) {
+  envs_.resize(view_.n());
+  for (graph::Vertex v = 0; v < view_.n(); ++v) refresh_env(v);
 }
 
 void Engine::refresh_env(graph::Vertex v) {
-  refresh_vertex_env(graph_, opts_, metrics_.rounds, v, envs_[v]);
+  refresh_vertex_env(view_, opts_, metrics_.rounds, v, envs_[v]);
+}
+
+graph::Graph& Engine::mutable_graph() {
+  if (owned_ == nullptr) {
+    owned_ = std::make_unique<graph::Graph>(graph::materialize(view_));
+    view_ = graph::GraphView(*owned_);
+    // Every env's neighbor span still points into the old backend; re-point
+    // them all at the private copy before it diverges.
+    for (graph::Vertex v = 0; v < view_.n(); ++v) refresh_env(v);
+  }
+  return *owned_;
 }
 
 void Engine::install(const ProgramFactory& factory) {
   factory_ = factory;
   programs_.clear();
-  programs_.reserve(graph_.n());
-  for (graph::Vertex v = 0; v < graph_.n(); ++v) {
+  programs_.reserve(view_.n());
+  for (graph::Vertex v = 0; v < view_.n(); ++v) {
     refresh_env(v);
     programs_.push_back(factory(envs_[v]));
     programs_.back()->on_start(envs_[v]);
@@ -31,21 +51,21 @@ void Engine::install(const ProgramFactory& factory) {
 }
 
 void Engine::step() {
-  if (programs_.size() != graph_.n()) {
+  if (programs_.size() != view_.n()) {
     throw std::logic_error("Engine::step before install()");
   }
-  edge_bits_.ensure(graph_.n());
+  edge_bits_.ensure(view_.n());
   // Dependency-driven backends fire per-vertex, so rounds r and r+1 must
   // coexist in the arena: switch it into two-epoch mode for them (a mode
   // change forces one rebuild, then is O(1) like the topology check).
   arena_.set_async(executor_ != nullptr && executor_->dependency_driven());
-  arena_.ensure(graph_);  // O(1) unless the adversary churned topology
+  arena_.ensure(view_);  // O(1) unless the adversary churned topology
   if (channel_ != nullptr) {
-    channel_->begin_round(arena_, graph_, metrics_.rounds);
+    channel_->begin_round(arena_, view_, metrics_.rounds);
   }
   const std::uint64_t t0 = sink_ != nullptr ? obs::monotonic_ns() : 0;
   const std::uint64_t messages_before = metrics_.messages;
-  RoundContext ctx(graph_, transport_, opts_, programs_, envs_, edge_bits_,
+  RoundContext ctx(view_, transport_, opts_, programs_, envs_, edge_bits_,
                    arena_, metrics_.rounds, profile_, channel_);
   if (executor_) {
     executor_->round(ctx, metrics_);
@@ -70,7 +90,7 @@ void Engine::step() {
 }
 
 std::size_t Engine::step_window(std::size_t max_rounds) {
-  if (programs_.size() != graph_.n()) {
+  if (programs_.size() != view_.n()) {
     throw std::logic_error("Engine::step_window before install()");
   }
   if (max_rounds == 0) return 0;
@@ -88,12 +108,12 @@ std::size_t Engine::step_window(std::size_t max_rounds) {
     }
     return executed;
   }
-  edge_bits_.ensure(graph_.n());
+  edge_bits_.ensure(view_.n());
   arena_.set_async(true);
-  arena_.ensure(graph_);
+  arena_.ensure(view_);
   const std::uint64_t t0 = sink_ != nullptr ? obs::monotonic_ns() : 0;
   const std::uint64_t messages_before = metrics_.messages;
-  RoundContext ctx(graph_, transport_, opts_, programs_, envs_, edge_bits_,
+  RoundContext ctx(view_, transport_, opts_, programs_, envs_, edge_bits_,
                    arena_, metrics_.rounds, profile_, nullptr);
   const std::size_t fired = executor_->run_window(ctx, metrics_, max_rounds);
   metrics_.rounds += fired;
@@ -119,7 +139,7 @@ std::size_t Engine::run(std::size_t max_rounds) {
 }
 
 bool Engine::all_halted() const {
-  for (graph::Vertex v = 0; v < graph_.n(); ++v) {
+  for (graph::Vertex v = 0; v < view_.n(); ++v) {
     if (!programs_[v]->halted(envs_[v])) return false;
   }
   return true;
@@ -137,7 +157,7 @@ void Engine::corrupt_ram(graph::Vertex v, std::size_t word, std::uint64_t value)
 }
 
 bool Engine::add_edge(graph::Vertex u, graph::Vertex v) {
-  const bool ok = graph_.add_edge(u, v);
+  const bool ok = mutable_graph().add_edge(u, v);
   if (ok) {
     refresh_env(u);
     refresh_env(v);
@@ -149,7 +169,7 @@ bool Engine::add_edge(graph::Vertex u, graph::Vertex v) {
 }
 
 bool Engine::remove_edge(graph::Vertex u, graph::Vertex v) {
-  const bool ok = graph_.remove_edge(u, v);
+  const bool ok = mutable_graph().remove_edge(u, v);
   if (ok) {
     refresh_env(u);
     refresh_env(v);
@@ -161,7 +181,7 @@ bool Engine::remove_edge(graph::Vertex u, graph::Vertex v) {
 }
 
 graph::Vertex Engine::add_vertex() {
-  const graph::Vertex v = graph_.add_vertex();
+  const graph::Vertex v = mutable_graph().add_vertex();
   envs_.emplace_back();
   refresh_env(v);
   programs_.push_back(factory_(envs_[v]));
@@ -173,7 +193,7 @@ graph::Vertex Engine::add_vertex() {
 }
 
 void Engine::reset_vertex(graph::Vertex v) {
-  graph_.isolate(v);
+  mutable_graph().isolate(v);
   refresh_env(v);
   programs_[v] = factory_(envs_[v]);
   programs_[v]->on_start(envs_[v]);

@@ -74,7 +74,7 @@ void resync_mirror(Engine& engine, std::vector<Color>& mirror) {
 
 }  // namespace
 
-IterativeResult run_locally_iterative(const graph::Graph& g,
+IterativeResult run_locally_iterative(graph::GraphView g,
                                       std::vector<Color> initial,
                                       const IterativeRule& rule,
                                       const IterativeOptions& opts) {
@@ -223,7 +223,7 @@ IterativeResult run_locally_iterative(const graph::Graph& g,
   return result;
 }
 
-IterativeResult run_stages(const graph::Graph& g, std::vector<Color> initial,
+IterativeResult run_stages(graph::GraphView g, std::vector<Color> initial,
                            std::span<const IterativeRule* const> stages,
                            const IterativeOptions& opts) {
   IterativeResult total;

@@ -2,7 +2,7 @@
 
 namespace agc::runtime {
 
-void MailboxArena::rebuild(const graph::Graph& g) {
+void MailboxArena::rebuild(graph::GraphView g) {
   const std::size_t n = g.n();
   base_.assign(n + 1, 0);
   for (graph::Vertex v = 0; v < n; ++v) {

@@ -5,7 +5,7 @@
 
 namespace agc::runtime {
 
-void refresh_vertex_env(const graph::Graph& g, const EngineOptions& opts,
+void refresh_vertex_env(graph::GraphView g, const EngineOptions& opts,
                         std::uint64_t round, graph::Vertex v, VertexEnv& env) {
   env.id = v;
   env.padded_id = v;
@@ -17,7 +17,7 @@ void refresh_vertex_env(const graph::Graph& g, const EngineOptions& opts,
   env.round = round;
 }
 
-RoundContext::RoundContext(const graph::Graph& graph, const Transport& transport,
+RoundContext::RoundContext(graph::GraphView graph, const Transport& transport,
                            const EngineOptions& opts,
                            std::vector<std::unique_ptr<VertexProgram>>& programs,
                            std::vector<VertexEnv>& envs, EdgeBitLedger& ledger,

@@ -18,8 +18,8 @@ void TraceRecorder::record(std::size_t round, std::span<const Color> colors) {
   for (Color c : colors) {
     if (is_final_ && is_final_(c)) ++pt.finalized;
   }
-  for (graph::Vertex u = 0; u < g_->n(); ++u) {
-    for (graph::Vertex v : g_->neighbors(u)) {
+  for (graph::Vertex u = 0; u < g_.n(); ++u) {
+    for (graph::Vertex v : g_.neighbors(u)) {
       if (v > u && colors[u] == colors[v]) ++pt.monochromatic_edges;
     }
   }

@@ -359,13 +359,16 @@ namespace {
 /// One distinct GraphSpec's shared immutable graph, built at most once by
 /// whichever job needs it first (std::call_once handles racing workers; a
 /// throwing build is retried by the next job, per call_once semantics).
+/// Stored as the frozen CSR: runners read through GraphView, so the cache
+/// never needs adjacency vectors, and the admission estimate in
+/// GraphSpec::estimated_bytes models exactly this layout (docs/SCALE.md).
 struct CacheEntry {
   std::once_flag once;
-  graph::Graph g;
+  graph::FrozenGraph g;
 };
 
 JobResult execute_job(std::size_t id, const JobSpec& spec,
-                      const graph::Graph& g, bool cache_hit,
+                      graph::GraphView g, bool cache_hit,
                       const std::shared_ptr<runtime::RoundExecutor>& executor,
                       std::size_t max_attempts) {
   const Runner* runner = find_runner(spec.algorithm);
@@ -504,7 +507,7 @@ CampaignReport run_campaign(const Campaign& campaign,
       auto& entry = cache.at(jobs[j].graph.content_hash());
       JobResult result;
       try {
-        std::call_once(entry.once, [&] { entry.g = jobs[j].graph.build(); });
+        std::call_once(entry.once, [&] { entry.g = jobs[j].graph.build_frozen(); });
         result = execute_job(j, jobs[j], entry.g,
                              first_with.at(jobs[j].graph.content_hash()) != j,
                              executor, std::max<std::size_t>(1, sopts.max_attempts));

@@ -134,7 +134,7 @@ std::optional<std::pair<std::uint64_t, std::uint64_t>> edge_replicas(
 
 std::vector<Color> current_edge_colors(runtime::Engine& engine) {
   std::vector<Color> colors;
-  for (const auto& e : engine.graph().edges()) {
+  for (const auto& e : graph::edge_list(engine.graph())) {
     const auto r = edge_replicas(engine, e);
     colors.push_back(r ? packed_color(r->first) : 0);
   }
@@ -143,7 +143,7 @@ std::vector<Color> current_edge_colors(runtime::Engine& engine) {
 
 std::vector<graph::Edge> current_matching(runtime::Engine& engine) {
   std::vector<graph::Edge> matched;
-  for (const auto& e : engine.graph().edges()) {
+  for (const auto& e : graph::edge_list(engine.graph())) {
     const auto r = edge_replicas(engine, e);
     if (r && packed_status(r->first) == kMis) matched.push_back(e);
   }
@@ -158,7 +158,7 @@ LineStabilizationReport run_until_line_stable(runtime::Engine& engine,
 
   auto snapshot = [&] {
     std::vector<std::uint64_t> s;
-    for (const auto& e : engine.graph().edges()) {
+    for (const auto& e : graph::edge_list(engine.graph())) {
       const auto r = edge_replicas(engine, e);
       s.push_back(r ? r->first : ~0ULL);
     }
@@ -167,7 +167,7 @@ LineStabilizationReport run_until_line_stable(runtime::Engine& engine,
 
   auto stable = [&] {
     // Replicas must agree at both endpoints.
-    for (const auto& e : engine.graph().edges()) {
+    for (const auto& e : graph::edge_list(engine.graph())) {
       const auto r = edge_replicas(engine, e);
       if (!r || r->first != r->second) return false;
     }

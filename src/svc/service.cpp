@@ -27,7 +27,7 @@ struct Rules {
     return v < engine.graph().n() && live[v];
   }
   [[nodiscard]] bool can_add_edge(graph::Vertex u, graph::Vertex v) const {
-    const graph::Graph& g = engine.graph();
+    graph::GraphView g = engine.graph();
     return u != v && known(u) && known(v) && !g.has_edge(u, v) &&
            g.degree(u) < delta_bound && g.degree(v) < delta_bound;
   }

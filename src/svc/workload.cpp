@@ -13,7 +13,7 @@ Workload::Workload(const Service& svc, const WorkloadSpec& spec)
       delta_bound_(svc.config().delta_bound),
       max_vertices_(svc.config().max_vertices),
       state_(spec.seed ^ 0x9e3779b97f4a7c15ULL) {
-  const graph::Graph& g = svc.graph();
+  graph::GraphView g = svc.graph();
   adj_.resize(g.n());
   live_.resize(g.n());
   live_pos_.assign(g.n(), 0);

@@ -173,7 +173,7 @@ TEST(Agn, ExactPaletteFromOneAndAHalfDelta) {
   }
   // The shifted coloring may be improper (c and c+N collide across classes);
   // repair: keep only shifts that stay proper.
-  for (const auto& [u, v] : g.edges()) {
+  for (const auto& [u, v] : graph::edge_list(g)) {
     if (seed[u] == seed[v]) seed[u] = rep.colors[u];
   }
   ASSERT_TRUE(graph::is_proper_coloring(g, seed));

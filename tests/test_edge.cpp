@@ -16,7 +16,7 @@ using namespace agc;
 TEST(DefectiveEdge, PairsAreTwoDefective) {
   const auto g = graph::random_regular(80, 7, 3);
   const auto pairs = edge::kuhn_defective_pairs(g);
-  const auto edges = g.edges();
+  const auto edges = graph::edge_list(g);
   // At any vertex, each class <i,j> appears at most twice (once outgoing,
   // once incoming).
   std::map<std::tuple<graph::Vertex, std::uint32_t, std::uint32_t>, int> out_cnt,

@@ -93,7 +93,7 @@ TEST(EdgeColoringMetrics, BitsPerEdgeTracksDeltaPlusLogN) {
 TEST(DefectiveEdgeExtra, EveryClassIsAtMostTwoPerVertex) {
   const auto g = graph::barabasi_albert(120, 4, 17);
   const auto pairs = edge::kuhn_defective_pairs(g);
-  const auto edges = g.edges();
+  const auto edges = graph::edge_list(g);
   // Count class multiplicity per vertex.
   std::map<std::pair<graph::Vertex, std::uint64_t>, int> count;
   for (std::size_t e = 0; e < edges.size(); ++e) {

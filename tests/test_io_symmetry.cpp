@@ -18,7 +18,7 @@ TEST(GraphIo, DimacsRoundTrip) {
   graph::write_edge_list(ss, g);
   const auto back = graph::read_edge_list(ss);
   EXPECT_EQ(back.n(), g.n());
-  EXPECT_EQ(back.edges(), g.edges());
+  EXPECT_EQ(graph::edge_list(back), graph::edge_list(g));
 }
 
 TEST(GraphIo, BareEdgeListZeroBased) {

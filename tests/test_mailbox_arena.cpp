@@ -145,7 +145,7 @@ TEST(MailboxArenaChurn, TopologyChurnEveryRoundUnderSetLocal) {
                           static_cast<graph::Vertex>(rng.below(n)));
           break;
         case 1: {
-          const auto edges = engine.graph().edges();
+          const auto edges = graph::edge_list(engine.graph());
           if (!edges.empty()) {
             const auto& e = edges[rng.below(edges.size())];
             engine.remove_edge(e.first, e.second);

@@ -49,9 +49,13 @@ using namespace agc;
   std::exit(2);
 }
 
+/// Fault plans inject topology churn into the replay engines, so this tool
+/// is one of the two legitimate Mutable consumers of the spec helper
+/// (docs/SCALE.md); everything read-only resolves to the frozen CSR instead.
 graph::Graph make_graph(const std::string& spec) {
   try {
-    return graph::GraphSpec::parse(spec).build();
+    auto rg = graph::GraphSpec::parse(spec).resolve(graph::Mutability::Mutable);
+    return std::move(rg.graph());
   } catch (const std::invalid_argument& e) {
     usage(e.what());
   }

@@ -61,6 +61,7 @@
 //   ba:N,K,SEED              Barabasi-Albert preferential attachment
 //   bipartite:A,B | hypercube:D | multipartite:K,PART
 //   caterpillar:SPINE,LEGS | blowup:LEN,BLOW | bounded:N,DMAX,M,SEED
+//   powerlaw:N,GAMMA,AVGDEG,SEED  Chung-Lu power-law (streamed CSR build)
 
 #include <cstdio>
 #include <cstring>
@@ -104,9 +105,13 @@ using namespace agc;
   std::exit(2);
 }
 
-graph::Graph make_graph(const std::string& spec) {
+/// Resolve --graph through the one spec helper (docs/SCALE.md).  Every
+/// agccli command reads through GraphView, so the frozen CSR backend is
+/// always right here; commands that churn topology (selfstab faults) do so
+/// through the engine, whose copy-on-churn materializes a mutable copy.
+graph::ResolvedGraph resolve_graph(const std::string& spec) {
   try {
-    return graph::GraphSpec::parse(spec).build();
+    return graph::GraphSpec::parse(spec).resolve(graph::Mutability::ReadOnly);
   } catch (const std::invalid_argument& e) {
     usage(e.what());
   }
@@ -195,7 +200,8 @@ Args parse(int argc, char** argv) {
 }
 
 int cmd_color(const Args& a) {
-  const auto g = make_graph(a.get("graph"));
+  const auto rg = resolve_graph(a.get("graph"));
+  const graph::GraphView g = rg.view();
   ObsFlags ob(a);
   coloring::PipelineOptions opts;
   opts.iter.executor = a.executor();
@@ -272,7 +278,8 @@ int cmd_color(const Args& a) {
 }
 
 int cmd_edges(const Args& a) {
-  const auto g = make_graph(a.get("graph"));
+  const auto rg = resolve_graph(a.get("graph"));
+  const graph::GraphView g = rg.view();
   ObsFlags ob(a);
   edge::EdgeColoringOptions opts;
   opts.executor = a.executor();
@@ -295,7 +302,8 @@ int cmd_edges(const Args& a) {
 }
 
 int cmd_mis(const Args& a) {
-  const auto g = make_graph(a.get("graph"));
+  const auto rg = resolve_graph(a.get("graph"));
+  const graph::GraphView g = rg.view();
   ObsFlags ob(a);
   coloring::PipelineOptions opts;
   opts.iter.executor = a.executor();
@@ -312,7 +320,8 @@ int cmd_mis(const Args& a) {
 }
 
 int cmd_match(const Args& a) {
-  const auto g = make_graph(a.get("graph"));
+  const auto rg = resolve_graph(a.get("graph"));
+  const graph::GraphView g = rg.view();
   ObsFlags ob(a);
   coloring::PipelineOptions opts;
   opts.iter.executor = a.executor();
@@ -337,8 +346,8 @@ std::uint32_t ppm_flag(const Args& a, const std::string& key) {
 /// under a channel adversary and/or a recorded plan, print recovery time and
 /// adjustment radius.  Active when any --chan-* / --fault-plan / --replay
 /// flag is given.
-int selfstab_faultlab(const Args& a, const graph::Graph& g,
-                      const selfstab::SsConfig& cfg, runtime::Engine& engine) {
+int selfstab_faultlab(const Args& a, const selfstab::SsConfig& cfg,
+                      runtime::Engine& engine) {
   ObsFlags ob(a);
   runtime::RunOptions ro;
   ro.max_rounds = 1000000;
@@ -427,7 +436,8 @@ int selfstab_faultlab(const Args& a, const graph::Graph& g,
 }
 
 int cmd_selfstab(const Args& a) {
-  const auto g = make_graph(a.get("graph"));
+  const auto rg = resolve_graph(a.get("graph"));
+  const graph::GraphView g = rg.view();
   const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
   const auto mode = a.has("exact") ? selfstab::PaletteMode::ExactDeltaPlusOne
                                    : selfstab::PaletteMode::ODelta;
@@ -440,7 +450,7 @@ int cmd_selfstab(const Args& a) {
 
   if (a.has("chan-drop") || a.has("chan-corrupt") || a.has("chan-dup") ||
       a.has("chan-delay") || a.has("fault-plan") || a.has("replay")) {
-    return selfstab_faultlab(a, g, cfg, engine);
+    return selfstab_faultlab(a, cfg, engine);
   }
 
   const auto faults = std::strtoull(a.get("faults", "16").c_str(), nullptr, 10);
@@ -579,7 +589,8 @@ int cmd_svc(const Args& a) {
 }
 
 int cmd_gen(const Args& a) {
-  const auto g = make_graph(a.get("graph"));
+  const auto rg = resolve_graph(a.get("graph"));
+  const graph::GraphView g = rg.view();
   if (!a.has("out")) usage("gen needs --out");
   std::ofstream out(a.get("out"));
   graph::write_edge_list(out, g);
