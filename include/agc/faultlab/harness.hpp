@@ -8,6 +8,7 @@
 #include "agc/runtime/run_options.hpp"
 #include "agc/runtime/run_report.hpp"
 #include "agc/selfstab/ss_coloring.hpp"
+#include "agc/selfstab/ss_line.hpp"
 
 /// \file harness.hpp
 /// The stabilization harness: run any self-stabilizing algorithm under a
@@ -122,5 +123,23 @@ struct StabilizationOutcome : runtime::RunReport {
 
 /// Output snapshot for coloring tasks: RAM word 0 of every vertex.
 [[nodiscard]] OutputFn coloring_outputs();
+
+/// Legality check for the self-stabilizing MIS (ss_mis.hpp): proper coloring
+/// plus a valid maximal independent set — every MIS vertex independent,
+/// every non-MIS vertex dominated, nobody undecided.
+[[nodiscard]] CheckFn mis_check(const selfstab::SsConfig& cfg);
+
+/// Output snapshot for MIS tasks: packed (color, status) per vertex.
+[[nodiscard]] OutputFn mis_outputs();
+
+/// Legality check for the line-graph simulation (ss_line.hpp): edge coloring
+/// mode demands a proper final-palette edge coloring of the *current* host
+/// graph; maximal-matching mode demands a valid maximal matching.
+[[nodiscard]] CheckFn line_check(const selfstab::SsLineConfig& cfg);
+
+/// Output snapshot for line tasks: an FNV-style hash of each host vertex's
+/// per-edge replica words (RAM layout is degree-dependent, so a fixed-width
+/// digest stands in for the variable-width output vector).
+[[nodiscard]] OutputFn line_outputs();
 
 }  // namespace agc::faultlab

@@ -19,7 +19,11 @@
 ///   {"round":12,"kind":"drop","u":3,"v":7,"word":0,"value":0}
 ///
 /// `kind` is one of ram / add_edge / remove_edge / reset_vertex / add_vertex
-/// / drop / corrupt / duplicate / delay (runtime::to_string(FaultKind)).
+/// / drop / corrupt / duplicate / delay / lie (runtime::to_string(FaultKind)).
+/// Unknown top-level fields on a line are preserved verbatim (see
+/// FaultPlan::extras): a plan recorded by a newer build with extra
+/// annotations round-trips through an older parser unchanged, so committed
+/// regression plans keep replaying across releases.
 /// Rounds anchor per domain: RAM/topology events carry the number of engine
 /// rounds completed when they fired (the adversary acts *between* rounds);
 /// channel events carry the 0-based engine round they fired *inside*.
@@ -32,6 +36,11 @@ namespace agc::faultlab {
 
 struct FaultPlan {
   std::vector<runtime::FaultEvent> events;
+  /// Raw text of any unknown top-level fields per event line, each a
+  /// ready-to-emit `,"key":value` suffix inserted before the closing brace.
+  /// Either empty (no line had extras) or exactly events.size() entries;
+  /// canonicalize() and the shrinker keep entries attached to their events.
+  std::vector<std::string> extras;
 
   [[nodiscard]] bool empty() const noexcept { return events.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return events.size(); }

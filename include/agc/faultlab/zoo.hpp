@@ -1,0 +1,386 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "agc/graph/generators.hpp"
+#include "agc/runtime/faults.hpp"
+#include "agc/runtime/transport.hpp"
+
+/// \file zoo.hpp
+/// The adversary zoo: production-shaped fault models behind the existing
+/// ChannelHook / FaultAdversary seams (ROADMAP item 5).
+///
+/// Where channel.hpp's ChannelAdversary throws i.i.d. per-edge coins, the zoo
+/// models the correlated, stateful, targeted failures production systems
+/// actually see:
+///
+///   RegionalOutage      every edge incident to a contiguous ID range goes
+///                       dark for a window of rounds — a rack/region
+///                       partition, not independent packet loss.
+///   FlappingLinks       each link runs a seeded two-state Markov chain
+///                       (Up/Down); while Down the link drops everything, so
+///                       loss arrives in bursts with geometric dwell times.
+///   ByzantineNeighbors  a seeded vertex subset lies on the wire: outgoing
+///                       word 0 is replaced by a width-preserving bounded lie,
+///                       so the receiver cannot reject it on format grounds.
+///   AdaptiveAdversary   between rounds, re-targets the currently
+///                       highest-degree or most-recently-recolored vertices
+///                       from a deterministic snapshot and clones a neighbor's
+///                       color onto them — the worst-case monochromatic hit.
+///   ChurnTrace          a power-law arrival process replayed into the
+///                       add/remove-vertex path: heavy-tailed gaps between
+///                       arrivals/crashes with degree-biased attachment.
+///
+/// Determinism contract (same as channel.hpp): every wire decision is a pure
+/// splitmix64 hash of (stream seed, round, sender, receiver) — vertex IDs,
+/// not port indices — and per-port mutable state is only touched by the shard
+/// owning the sender.  State adversaries run on the driving thread between
+/// rounds.  Trajectories are therefore bit-identical for 1, 2 or 8 threads;
+/// tests/test_zoo.cpp pins this per adversary.
+///
+/// Round anchors: wire adversaries use 0-based engine rounds (the round the
+/// message travels in), state adversaries use the 1-based index of the round
+/// that just completed, with PeriodicAdversary's boundary semantics (round 0
+/// never fires, last_round is inclusive).
+
+namespace agc::faultlab {
+
+// ---------------------------------------------------------------------------
+// Declarative configs (the FaultSpec grammar in sched/campaign.hpp maps
+// one key family onto each; see docs/FAULTS.md).
+// ---------------------------------------------------------------------------
+
+/// Correlated regional outage: every message with an endpoint in [lo, hi]
+/// (inclusive) is dropped during [first_round, last_round].  The region is
+/// fully partitioned from the rest of the graph — and internally, since its
+/// own edges are incident to it twice.  Disabled while lo > hi.
+struct RegionalOutageConfig {
+  graph::Vertex lo = 1;
+  graph::Vertex hi = 0;
+  std::uint64_t first_round = 0;
+  std::uint64_t last_round = std::uint64_t(-1);
+
+  [[nodiscard]] bool enabled() const noexcept { return lo <= hi; }
+};
+
+/// Flapping links: a two-state Markov chain per link.  Both directions of an
+/// edge share one chain (rolls hash the canonical (min, max) endpoint pair),
+/// so a Down link is symmetric, like a real dead cable.  Transition
+/// probabilities are per round in parts per million; their sum must stay
+/// <= 1'000'000.  Links start Up, only evolve inside the window, and are
+/// treated as Up outside it — faults eventually stop.
+struct FlappingLinksConfig {
+  std::uint32_t down_per_million = 0;      ///< P(Up -> Down) per round
+  std::uint32_t up_per_million = 500'000;  ///< P(Down -> Up) per round
+  std::uint64_t first_round = 0;
+  std::uint64_t last_round = std::uint64_t(-1);
+
+  [[nodiscard]] bool enabled() const noexcept { return down_per_million > 0; }
+};
+
+/// Byzantine-valued neighbors: a seeded subset of vertices (each vertex is a
+/// liar with probability liars_per_million, decided by a pure hash of the
+/// vertex ID so the subset survives churn) replaces word 0 of outgoing
+/// messages with a seeded lie of the same declared bit width.  The lie always
+/// differs from the true value, and each lying send records a
+/// FaultKind::Lie event carrying the substituted value for exact replay.
+struct ByzantineConfig {
+  std::uint32_t liars_per_million = 0;         ///< vertex-is-a-liar probability
+  std::uint32_t lie_per_million = 1'000'000;   ///< per-message lie probability
+  std::uint64_t first_round = 0;
+  std::uint64_t last_round = std::uint64_t(-1);
+
+  [[nodiscard]] bool enabled() const noexcept { return liars_per_million > 0; }
+};
+
+/// Adaptive targeted corruption: every `period` completed rounds (up to
+/// last_round, inclusive — PeriodicAdversary boundary semantics) pick the
+/// `count` currently worst vertices from a deterministic snapshot and clone a
+/// hash-chosen neighbor's RAM word 0 onto each, guaranteeing a monochromatic
+/// edge at the most valuable target.
+struct AdaptiveConfig {
+  enum class Target : std::uint8_t {
+    HighestDegree,      ///< rank by (degree desc, id asc)
+    RecentlyRecolored,  ///< rank by (last round word 0 changed desc, id asc)
+  };
+
+  std::size_t period = 1;
+  std::size_t last_round = std::numeric_limits<std::size_t>::max();
+  std::size_t count = 0;  ///< targets per firing (0 = disabled)
+  Target target = Target::HighestDegree;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return count > 0 && period > 0;
+  }
+};
+
+/// Churn trace: `events` trace entries scheduled from `first_round` with
+/// heavy-tailed inter-arrival gaps (bounded Pareto with tail exponent
+/// `alpha`, gaps clamped to [1, 1024] rounds), truncated at `last_round`.
+/// Each entry is either a vertex arrival (engine.add_vertex + `attach`
+/// degree-biased edges, capped by `max_vertices`) or, with probability
+/// resets_per_million — or always, once the vertex cap is hit — a
+/// crash/recover (engine.reset_vertex + `attach` reconnect edges).  All
+/// topology edits respect the degree cap `dmax` and flow through the
+/// engine's adversary interface, so they are recorded into fault plans
+/// automatically.
+struct ChurnTraceConfig {
+  std::size_t events = 0;  ///< total trace entries (0 = disabled)
+  double alpha = 1.5;      ///< Pareto tail exponent for inter-arrival gaps
+  std::size_t attach = 2;  ///< edges attached per arrival / reconnect
+  std::uint32_t resets_per_million = 250'000;
+  std::size_t first_round = 1;
+  std::size_t last_round = std::numeric_limits<std::size_t>::max();
+  std::size_t dmax = 16;          ///< degree cap for attached edges
+  std::size_t max_vertices = 0;   ///< arrival cap on n (0 = resets only)
+  /// Declarative form of max_vertices for campaign grids, where the graph's
+  /// n is not known at spec-writing time: allow up to `grow` arrivals above
+  /// the initial vertex count.  Runners resolve max_vertices = n + grow when
+  /// grow > 0 and max_vertices was left 0.
+  std::size_t grow = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return events > 0; }
+};
+
+/// The whole zoo as one declarative value — what sched::FaultSpec embeds and
+/// the campaign grammar serializes.  Seeds are not part of the shape: the
+/// factories below derive one stream seed per adversary from the job seed.
+struct ZooSpec {
+  RegionalOutageConfig outage;
+  FlappingLinksConfig flap;
+  ByzantineConfig byz;
+  AdaptiveConfig adapt;
+  ChurnTraceConfig churn;
+
+  [[nodiscard]] bool any_channel() const noexcept {
+    return outage.enabled() || flap.enabled() || byz.enabled();
+  }
+  [[nodiscard]] bool any_state() const noexcept {
+    return adapt.enabled() || churn.enabled();
+  }
+  [[nodiscard]] bool any() const noexcept { return any_channel() || any_state(); }
+};
+
+/// Per-adversary seed streams, XORed into the job seed so one `seed=` knob
+/// yields independent randomness per fault model (the ChannelAdversary's
+/// kChannelStream in sched/registry.cpp plays the same role).
+inline constexpr std::uint64_t kFlapStream = 0xf1a99c0ffee0d1ceULL;
+inline constexpr std::uint64_t kByzStream = 0xb12a7713e5a7b0a7ULL;
+inline constexpr std::uint64_t kAdaptStream = 0xada9717e5eed5a17ULL;
+inline constexpr std::uint64_t kChurnStream = 0xc0a27ace5eed1234ULL;
+
+// ---------------------------------------------------------------------------
+// Wire adversaries (runtime::ChannelHook)
+// ---------------------------------------------------------------------------
+
+/// Drops every message crossing into, out of, or inside [lo, hi] during the
+/// window.  Stateless: no begin_round work, trivially deterministic.
+class RegionalOutage final : public runtime::ChannelHook {
+ public:
+  explicit RegionalOutage(RegionalOutageConfig config,
+                          runtime::FaultEventSink* recorder = nullptr)
+      : config_(config), recorder_(recorder) {}
+
+  void begin_round(const runtime::MailboxArena& arena, graph::GraphView g,
+                   std::uint64_t round) override;
+  void apply(runtime::MailboxArena& arena, graph::GraphView g,
+             graph::Vertex v, std::uint64_t round, std::size_t shard) override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "outage"; }
+  [[nodiscard]] std::uint64_t events() const noexcept override {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  RegionalOutageConfig config_;
+  runtime::FaultEventSink* recorder_;
+  std::atomic<std::uint64_t> events_{0};
+};
+
+/// Two-state Markov chain per link.  Chain state lives per *port* (sender
+/// side), but both directions advance with the same canonical-edge roll each
+/// round, so they stay in lockstep — the concurrency contract holds because
+/// each port's byte is only touched by the shard owning its sender.
+/// Topology churn renumbers ports, so rebinding resets every link to Up
+/// (documented in docs/FAULTS.md).
+class FlappingLinks final : public runtime::ChannelHook {
+ public:
+  FlappingLinks(FlappingLinksConfig config, std::uint64_t seed,
+                runtime::FaultEventSink* recorder = nullptr)
+      : config_(config), seed_(seed), recorder_(recorder) {}
+
+  void begin_round(const runtime::MailboxArena& arena, graph::GraphView g,
+                   std::uint64_t round) override;
+  void apply(runtime::MailboxArena& arena, graph::GraphView g,
+             graph::Vertex v, std::uint64_t round, std::size_t shard) override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "flap"; }
+  [[nodiscard]] std::uint64_t events() const noexcept override {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FlappingLinksConfig config_;
+  std::uint64_t seed_;
+  runtime::FaultEventSink* recorder_;
+  std::atomic<std::uint64_t> events_{0};
+  std::vector<std::uint8_t> down_;  ///< per-port chain state, 1 = Down
+  std::uint64_t arena_version_ = std::uint64_t(-1);
+  bool bound_ = false;
+};
+
+/// Width-preserving bounded lies from a seeded vertex subset.  Stateless:
+/// liar membership and every lie value are pure hashes, so the subset and
+/// the lies survive churn and thread-count changes unchanged.
+class ByzantineNeighbors final : public runtime::ChannelHook {
+ public:
+  ByzantineNeighbors(ByzantineConfig config, std::uint64_t seed,
+                     runtime::FaultEventSink* recorder = nullptr)
+      : config_(config), seed_(seed), recorder_(recorder) {}
+
+  void begin_round(const runtime::MailboxArena& arena, graph::GraphView g,
+                   std::uint64_t round) override;
+  void apply(runtime::MailboxArena& arena, graph::GraphView g,
+             graph::Vertex v, std::uint64_t round, std::size_t shard) override;
+
+  /// True iff `v` lies under this seed/config — exposed for tests and docs.
+  [[nodiscard]] bool is_liar(graph::Vertex v) const noexcept;
+
+  [[nodiscard]] const char* name() const noexcept override { return "byz"; }
+  [[nodiscard]] std::uint64_t events() const noexcept override {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ByzantineConfig config_;
+  std::uint64_t seed_;
+  runtime::FaultEventSink* recorder_;
+  std::atomic<std::uint64_t> events_{0};
+};
+
+/// Fans out begin_round/apply to a fixed-order list of hooks so several wire
+/// adversaries stack on the engine's single channel-hook slot.  Order is
+/// composition order (the order hooks were added); events() sums.
+class ChannelHookChain final : public runtime::ChannelHook {
+ public:
+  /// Non-owning: `hook` must outlive the chain.
+  void add(runtime::ChannelHook& hook) { hooks_.push_back(&hook); }
+  /// Owning: the chain keeps the hook alive.
+  void own(std::unique_ptr<runtime::ChannelHook> hook) {
+    hooks_.push_back(hook.get());
+    owned_.push_back(std::move(hook));
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return hooks_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return hooks_.size(); }
+
+  void begin_round(const runtime::MailboxArena& arena, graph::GraphView g,
+                   std::uint64_t round) override;
+  void apply(runtime::MailboxArena& arena, graph::GraphView g,
+             graph::Vertex v, std::uint64_t round, std::size_t shard) override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "zoo"; }
+  [[nodiscard]] std::uint64_t events() const noexcept override;
+
+ private:
+  std::vector<runtime::ChannelHook*> hooks_;
+  std::vector<std::unique_ptr<runtime::ChannelHook>> owned_;
+};
+
+// ---------------------------------------------------------------------------
+// State adversaries (runtime::FaultAdversary, driving thread between rounds)
+// ---------------------------------------------------------------------------
+
+/// Re-targets the worst vertices each firing.  Tracks "recently recolored"
+/// by diffing RAM word 0 against the previous round's snapshot on every
+/// inject call (O(n) per round — the zoo runs at test/campaign scale, not at
+/// src/scale sizes).  Corruption goes through engine.corrupt_ram, so events
+/// are recorded into fault plans by the engine itself.
+class AdaptiveAdversary final : public runtime::FaultAdversary {
+ public:
+  AdaptiveAdversary(AdaptiveConfig config, std::uint64_t seed)
+      : config_(config), seed_(seed) {}
+
+  std::size_t inject(runtime::Engine& engine, std::size_t round) override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "adaptive"; }
+  [[nodiscard]] std::size_t total_events() const noexcept { return events_; }
+
+ private:
+  AdaptiveConfig config_;
+  std::uint64_t seed_;
+  std::size_t events_ = 0;
+  std::vector<std::uint64_t> prev_word0_;
+  std::vector<std::uint64_t> last_changed_;  ///< round word 0 last changed, 0 = never
+  std::vector<std::uint32_t> targets_;       ///< scratch, reused per firing
+};
+
+/// Replays a power-law arrival trace into the add/remove-vertex path.  The
+/// schedule (which rounds carry an entry) is precomputed at construction from
+/// the seed alone; entry contents consume a private Rng in trace order on the
+/// driving thread, so the whole trace is independent of thread count.
+class ChurnTrace final : public runtime::FaultAdversary {
+ public:
+  ChurnTrace(ChurnTraceConfig config, std::uint64_t seed);
+
+  std::size_t inject(runtime::Engine& engine, std::size_t round) override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "churn"; }
+  [[nodiscard]] std::size_t total_events() const noexcept { return events_; }
+  [[nodiscard]] const std::vector<std::size_t>& schedule() const noexcept {
+    return schedule_;
+  }
+
+ private:
+  ChurnTraceConfig config_;
+  graph::Rng rng_;
+  std::vector<std::size_t> schedule_;  ///< sorted rounds carrying one entry each
+  std::size_t next_ = 0;
+  std::size_t events_ = 0;
+};
+
+/// Stacks state adversaries on RunOptions' single adversary slot; inject
+/// forwards in composition order and sums the injected-event counts.
+class FaultAdversaryChain final : public runtime::FaultAdversary {
+ public:
+  void add(runtime::FaultAdversary& adversary) {
+    adversaries_.push_back(&adversary);
+  }
+  void own(std::unique_ptr<runtime::FaultAdversary> adversary) {
+    adversaries_.push_back(adversary.get());
+    owned_.push_back(std::move(adversary));
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return adversaries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return adversaries_.size(); }
+
+  std::size_t inject(runtime::Engine& engine, std::size_t round) override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "zoo"; }
+
+ private:
+  std::vector<runtime::FaultAdversary*> adversaries_;
+  std::vector<std::unique_ptr<runtime::FaultAdversary>> owned_;
+};
+
+// ---------------------------------------------------------------------------
+// Factories: one job seed -> the full configured zoo.
+// ---------------------------------------------------------------------------
+
+/// Append every enabled wire adversary of `zoo` to `chain` in the fixed
+/// composition order outage -> flap -> byz, deriving stream seeds from
+/// `seed`.  No-op for disabled entries.
+void append_channel_hooks(ChannelHookChain& chain, const ZooSpec& zoo,
+                          std::uint64_t seed,
+                          runtime::FaultEventSink* recorder = nullptr);
+
+/// Append every enabled state adversary of `zoo` to `chain` in the fixed
+/// composition order adapt -> churn, deriving stream seeds from `seed`.
+void append_state_adversaries(FaultAdversaryChain& chain, const ZooSpec& zoo,
+                              std::uint64_t seed);
+
+}  // namespace agc::faultlab

@@ -38,6 +38,7 @@ enum class FaultKind : std::uint8_t {
   Corrupt,      ///< bit `value` of word `word` of message u -> v flipped
   Duplicate,    ///< word `word` of message u -> v delivered twice
   Delay,        ///< message u -> v held back one round
+  Lie,          ///< word 0 of message u -> v replaced with `value` (same width)
 };
 
 [[nodiscard]] const char* to_string(FaultKind k) noexcept;

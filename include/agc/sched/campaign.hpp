@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "agc/faultlab/channel.hpp"
+#include "agc/faultlab/zoo.hpp"
 #include "agc/graph/spec.hpp"
 #include "agc/runtime/faults.hpp"
 #include "agc/runtime/run_options.hpp"
@@ -58,6 +59,10 @@ struct FaultSpec {
   /// RAM/topology faults (runtime::PeriodicAdversary); default Schedule with
   /// no primitives configured = no adversary.
   runtime::PeriodicAdversary::Schedule periodic;
+  /// Production-shaped adversaries (faultlab::zoo): regional outages,
+  /// flapping links, Byzantine neighbors, adaptive targeting, churn traces.
+  /// All-disabled by default; stream seeds derive from the job seed.
+  faultlab::ZooSpec zoo;
   /// Replay a recorded fault plan instead of injecting fresh faults; the
   /// channel/periodic arms are ignored when set.
   std::string plan_path;
@@ -73,7 +78,8 @@ struct FaultSpec {
     return !plan_path.empty() || channel.total_per_million() > 0 ||
            periodic.corrupt + periodic.clones + periodic.edge_adds +
                    periodic.edge_removes >
-               0;
+               0 ||
+           zoo.any();
   }
 };
 
@@ -119,8 +125,13 @@ struct JobResult : runtime::RunReport {
 /// Keys: algo graph seed tag model congest max-rounds idspace deps
 /// chan-seed chan-drop chan-corrupt chan-dup chan-delay chan-first chan-last
 /// adv-period adv-last adv-corrupt adv-range adv-clones adv-eadds
-/// adv-eremoves adv-dmax plan budget confirm.  Channel probabilities are
-/// floats in [0,1]; deps is a comma list of 0-based job line indexes.
+/// adv-eremoves adv-dmax plan budget confirm, plus the adversary-zoo
+/// families (docs/FAULTS.md): out-lo out-hi out-first out-last, flap-down
+/// flap-up flap-first flap-last, byz-liars byz-rate byz-first byz-last,
+/// adapt-period adapt-count adapt-last adapt-target(degree|recent),
+/// churn-events churn-alpha churn-attach churn-resets churn-first
+/// churn-last churn-dmax churn-grow.  Probabilities are floats in [0,1];
+/// deps is a comma list of 0-based job line indexes.
 class Campaign {
  public:
   /// Append one job; returns its id (= index, = execution priority).

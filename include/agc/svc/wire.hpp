@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -34,7 +36,48 @@ namespace agc::svc {
 
 /// Consume one complete frame from the front of `buffer` into `payload`.
 /// Returns false (and leaves both untouched) while the frame is incomplete.
+/// No length cap — trusted in-process streams only; the daemon's socket path
+/// goes through FrameReader below.
 [[nodiscard]] bool decode_frame(std::string& buffer, std::string& payload);
+
+/// Largest frame payload the daemon will buffer.  Every real command fits in
+/// well under a kilobyte; anything bigger is a confused or hostile client.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+enum class FrameStatus : std::uint8_t {
+  Incomplete,  ///< need more bytes; payload untouched
+  Ok,          ///< one complete frame extracted into payload
+  TooLarge,    ///< declared length exceeds the cap; frame discarded
+};
+
+/// Incremental frame scanner with bounded memory for untrusted sockets.
+/// feed() raw bytes as they arrive, then call next() until Incomplete.
+///
+/// A frame whose declared length exceeds `max_payload` yields TooLarge
+/// exactly once — the caller replies with an error frame — and the reader
+/// then discards the declared number of payload bytes as they stream in
+/// (never buffering them) before resynchronizing on the next length prefix.
+/// A garbage byte stream thus costs O(max_payload) memory at worst and the
+/// connection keeps serving once the declared bytes have passed; it never
+/// desyncs the framing or kills the daemon.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload = kMaxFramePayload)
+      : max_(max_payload) {}
+
+  /// Append raw socket bytes (oversized-frame bytes are dropped, not kept).
+  void feed(std::string_view bytes);
+
+  [[nodiscard]] FrameStatus next(std::string& payload);
+
+  /// Bytes currently held (always <= max_payload + 4 + one read chunk).
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::uint64_t skip_ = 0;  ///< oversized-frame payload bytes left to discard
+  std::size_t max_;
+};
 
 /// Execute one command line against the service and return the reply
 /// payload (unframed).  Unknown/malformed commands reply "err <reason>".

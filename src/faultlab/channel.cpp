@@ -204,6 +204,13 @@ void ChannelPlayback::apply(MailboxArena& arena, graph::GraphView g,
         stash_full_[gp] = 1;
         arena.clear_port(gp, parity);
         break;
+      case FaultKind::Lie: {
+        const std::uint32_t bits = words[0].bits == 0 ? 1 : words[0].bits;
+        const std::uint64_t cap =
+            bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+        words[0].value = ev.value & cap;
+        break;
+      }
       default:
         continue;
     }

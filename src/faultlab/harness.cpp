@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "agc/graph/checks.hpp"
 #include "agc/obs/event_sink.hpp"
 #include "agc/runtime/faults.hpp"
 
@@ -234,6 +235,96 @@ OutputFn coloring_outputs() {
     for (graph::Vertex v = 0; v < engine.graph().n(); ++v) {
       const auto ram = engine.ram(v);
       if (!ram.empty()) out[v] = ram[0];
+    }
+    return out;
+  };
+}
+
+CheckFn mis_check(const selfstab::SsConfig& cfg) {
+  return [&cfg](Engine& engine) -> Violation {
+    const Violation color_v = coloring_check(cfg)(engine);
+    if (color_v) return color_v;
+    const graph::GraphView g = engine.graph();
+    for (graph::Vertex v = 0; v < g.n(); ++v) {
+      const auto ram = engine.ram(v);
+      if (ram.size() < 2) {
+        return {ViolationKind::InvalidState, engine.rounds(), v, v, 0};
+      }
+      const auto status = selfstab::packed_status(ram[1] & 3);
+      bool mis_nbr = false;
+      for (const graph::Vertex w : g.neighbors(v)) {
+        const auto wram = engine.ram(w);
+        if (wram.size() >= 2 &&
+            selfstab::packed_status(wram[1] & 3) == selfstab::kMis) {
+          mis_nbr = true;
+          break;
+        }
+      }
+      const bool ok = (status == selfstab::kMis && !mis_nbr) ||
+                      (status == selfstab::kNotMis && mis_nbr);
+      if (!ok) {
+        return {ViolationKind::InvalidState, engine.rounds(), v, v,
+                static_cast<std::uint64_t>(status)};
+      }
+    }
+    return {};
+  };
+}
+
+OutputFn mis_outputs() {
+  return [](Engine& engine) {
+    std::vector<std::uint64_t> out(engine.graph().n(), 0);
+    for (graph::Vertex v = 0; v < engine.graph().n(); ++v) {
+      const auto ram = engine.ram(v);
+      if (ram.size() >= 2) out[v] = selfstab::pack_cs(ram[0], ram[1]);
+    }
+    return out;
+  };
+}
+
+CheckFn line_check(const selfstab::SsLineConfig& cfg) {
+  return [&cfg](Engine& engine) -> Violation {
+    const graph::GraphView g = engine.graph();
+    if (cfg.task() == selfstab::LineTask::EdgeColoring) {
+      const auto colors = selfstab::current_edge_colors(engine);
+      for (const auto c : colors) {
+        if (!cfg.coloring().is_final(c)) {
+          return {ViolationKind::OutOfPalette, engine.rounds(), 0, 0, c};
+        }
+      }
+      if (!graph::is_proper_edge_coloring(g, colors)) {
+        return {ViolationKind::MonochromaticEdge, engine.rounds(), 0, 0, 0};
+      }
+      return {};
+    }
+    // Maximal matching: no vertex matched twice, no edge with both endpoints
+    // free.
+    const auto matching = selfstab::current_matching(engine);
+    std::vector<std::uint8_t> matched(g.n(), 0);
+    for (const auto& [u, w] : matching) {
+      if (matched[u] != 0 || matched[w] != 0) {
+        return {ViolationKind::InvalidState, engine.rounds(), u, w, 1};
+      }
+      matched[u] = 1;
+      matched[w] = 1;
+    }
+    Violation out{};
+    g.for_each_edge([&](graph::Vertex u, graph::Vertex w) {
+      if (!out && matched[u] == 0 && matched[w] == 0) {
+        out = {ViolationKind::InvalidState, engine.rounds(), u, w, 0};
+      }
+    });
+    return out;
+  };
+}
+
+OutputFn line_outputs() {
+  return [](Engine& engine) {
+    std::vector<std::uint64_t> out(engine.graph().n(), 0);
+    for (graph::Vertex v = 0; v < engine.graph().n(); ++v) {
+      std::uint64_t h = 0;
+      for (const std::uint64_t w : engine.ram(v)) h = h * 1099511628211ULL + w;
+      out[v] = h;
     }
     return out;
   };

@@ -14,7 +14,7 @@ using runtime::FaultEvent;
 using runtime::FaultKind;
 
 [[nodiscard]] bool kind_from_string(const std::string& s, FaultKind& out) {
-  for (int k = 0; k <= static_cast<int>(FaultKind::Delay); ++k) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::Lie); ++k) {
     const auto kind = static_cast<FaultKind>(k);
     if (s == runtime::to_string(kind)) {
       out = kind;
@@ -55,29 +55,105 @@ using runtime::FaultKind;
   return std::stoull(s);
 }
 
+[[nodiscard]] bool is_known_key(const std::string& key) {
+  return key == "round" || key == "kind" || key == "u" || key == "v" ||
+         key == "word" || key == "value";
+}
+
+/// Collect every top-level `"key":value` pair the known schema does not
+/// cover, as ready-to-emit raw text.  The scanner understands quoted strings
+/// and nested braces/brackets just enough to skip over them; anything it
+/// cannot make sense of is simply not preserved (never a parse failure —
+/// forward compatibility must not make old plans brittle).
+[[nodiscard]] std::string scan_extras(const std::string& line) {
+  std::string extras;
+  std::size_t i = line.find('{');
+  if (i == std::string::npos) return extras;
+  ++i;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == ',')) ++i;
+    if (i >= line.size() || line[i] == '}') break;
+    if (line[i] != '"') break;
+    const std::size_t key_end = line.find('"', i + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = line.substr(i + 1, key_end - i - 1);
+    i = key_end + 1;
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size() || line[i] != ':') break;
+    ++i;
+    while (i < line.size() && line[i] == ' ') ++i;
+    const std::size_t value_begin = i;
+    int depth = 0;
+    bool in_string = false;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (in_string) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_string = false;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) break;
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+      ++i;
+    }
+    if (!is_known_key(key)) {
+      extras += ",\"" + key + "\":" + line.substr(value_begin, i - value_begin);
+    }
+  }
+  return extras;
+}
+
 }  // namespace
 
 void FaultPlan::canonicalize() {
-  std::stable_sort(events.begin(), events.end(),
-                   [](const FaultEvent& a, const FaultEvent& b) {
-                     if (a.round != b.round) return a.round < b.round;
-                     const bool ca = runtime::is_channel_fault(a.kind);
-                     const bool cb = runtime::is_channel_fault(b.kind);
-                     if (ca != cb) return cb;  // RAM/topology first
-                     if (!ca) return false;    // keep injection order
-                     if (a.u != b.u) return a.u < b.u;
-                     if (a.v != b.v) return a.v < b.v;
-                     return a.word < b.word;
+  const auto before = [](const FaultEvent& a, const FaultEvent& b) {
+    if (a.round != b.round) return a.round < b.round;
+    const bool ca = runtime::is_channel_fault(a.kind);
+    const bool cb = runtime::is_channel_fault(b.kind);
+    if (ca != cb) return cb;  // RAM/topology first
+    if (!ca) return false;    // keep injection order
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.word < b.word;
+  };
+  if (extras.empty()) {
+    std::stable_sort(events.begin(), events.end(), before);
+    return;
+  }
+  // Sort a permutation so each preserved-extras string stays attached to its
+  // event through reordering.
+  std::vector<std::size_t> order(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return before(events[a], events[b]);
                    });
+  std::vector<FaultEvent> sorted_events(events.size());
+  std::vector<std::string> sorted_extras(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sorted_events[i] = events[order[i]];
+    sorted_extras[i] = std::move(extras[order[i]]);
+  }
+  events = std::move(sorted_events);
+  extras = std::move(sorted_extras);
 }
 
 std::string FaultPlan::to_jsonl() const {
   std::ostringstream out;
-  for (const FaultEvent& ev : events) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& ev = events[i];
     out << "{\"round\":" << ev.round << ",\"kind\":\""
         << runtime::to_string(ev.kind) << "\",\"u\":" << ev.u
         << ",\"v\":" << ev.v << ",\"word\":" << ev.word
-        << ",\"value\":" << ev.value << "}\n";
+        << ",\"value\":" << ev.value;
+    if (i < extras.size()) out << extras[i];
+    out << "}\n";
   }
   return out.str();
 }
@@ -115,8 +191,14 @@ FaultPlan FaultPlan::parse(std::istream& in) {
       ev.word = static_cast<std::uint32_t>(to_u64(field));
     }
     if (find_field(line, "value", field)) ev.value = to_u64(field);
+    std::string extra = scan_extras(line);
     plan.events.push_back(ev);
+    if (!extra.empty() || !plan.extras.empty()) {
+      plan.extras.resize(plan.events.size() - 1);  // pad earlier extras-free lines
+      plan.extras.push_back(std::move(extra));
+    }
   }
+  if (!plan.extras.empty()) plan.extras.resize(plan.events.size());
   return plan;
 }
 

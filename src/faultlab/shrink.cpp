@@ -6,13 +6,24 @@ namespace agc::faultlab {
 
 namespace {
 
-/// The events of `plan` minus the chunk [begin, end).
+/// The events of `plan` minus the chunk [begin, end).  Preserved unknown
+/// fields (FaultPlan::extras) travel with their events, so a shrunk plan
+/// emitted by this build keeps whatever annotations the recording build
+/// attached.
 [[nodiscard]] FaultPlan without(const FaultPlan& plan, std::size_t begin,
                                 std::size_t end) {
   FaultPlan out;
+  const bool with_extras = !plan.extras.empty();
   out.events.reserve(plan.events.size() - (end - begin));
+  if (with_extras) out.extras.reserve(plan.events.size() - (end - begin));
   for (std::size_t i = 0; i < plan.events.size(); ++i) {
-    if (i < begin || i >= end) out.events.push_back(plan.events[i]);
+    if (i < begin || i >= end) {
+      out.events.push_back(plan.events[i]);
+      if (with_extras) {
+        out.extras.push_back(i < plan.extras.size() ? plan.extras[i]
+                                                    : std::string());
+      }
+    }
   }
   return out;
 }

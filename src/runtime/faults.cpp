@@ -13,6 +13,7 @@ const char* to_string(FaultKind k) noexcept {
     case FaultKind::Corrupt: return "corrupt";
     case FaultKind::Duplicate: return "duplicate";
     case FaultKind::Delay: return "delay";
+    case FaultKind::Lie: return "lie";
   }
   return "?";
 }

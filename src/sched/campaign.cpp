@@ -39,6 +39,15 @@ std::uint32_t parse_ppm(const std::string& key, const std::string& text) {
   return static_cast<std::uint32_t>(p * 1'000'000.0);
 }
 
+double parse_double(const std::string& key, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || v <= 0.0) {
+    bad(key + " must be a positive number");
+  }
+  return v;
+}
+
 /// Shortest %.*g spelling that round-trips (same scheme as GraphSpec).
 std::string fmt_double(double v) {
   char buf[64];
@@ -196,6 +205,62 @@ Campaign Campaign::parse(std::istream& in) {
         job.faults.periodic.edge_removes = parse_u64(key, val);
       } else if (key == "adv-dmax") {
         job.faults.periodic.dmax = parse_u64(key, val);
+      } else if (key == "out-lo") {
+        job.faults.zoo.outage.lo = static_cast<graph::Vertex>(parse_u64(key, val));
+      } else if (key == "out-hi") {
+        job.faults.zoo.outage.hi = static_cast<graph::Vertex>(parse_u64(key, val));
+      } else if (key == "out-first") {
+        job.faults.zoo.outage.first_round = parse_u64(key, val);
+      } else if (key == "out-last") {
+        job.faults.zoo.outage.last_round = parse_u64(key, val);
+      } else if (key == "flap-down") {
+        job.faults.zoo.flap.down_per_million = parse_ppm(key, val);
+      } else if (key == "flap-up") {
+        job.faults.zoo.flap.up_per_million = parse_ppm(key, val);
+      } else if (key == "flap-first") {
+        job.faults.zoo.flap.first_round = parse_u64(key, val);
+      } else if (key == "flap-last") {
+        job.faults.zoo.flap.last_round = parse_u64(key, val);
+      } else if (key == "byz-liars") {
+        job.faults.zoo.byz.liars_per_million = parse_ppm(key, val);
+      } else if (key == "byz-rate") {
+        job.faults.zoo.byz.lie_per_million = parse_ppm(key, val);
+      } else if (key == "byz-first") {
+        job.faults.zoo.byz.first_round = parse_u64(key, val);
+      } else if (key == "byz-last") {
+        job.faults.zoo.byz.last_round = parse_u64(key, val);
+      } else if (key == "adapt-period") {
+        job.faults.zoo.adapt.period = parse_u64(key, val);
+      } else if (key == "adapt-count") {
+        job.faults.zoo.adapt.count = parse_u64(key, val);
+      } else if (key == "adapt-last") {
+        job.faults.zoo.adapt.last_round = parse_u64(key, val);
+      } else if (key == "adapt-target") {
+        if (val == "degree") {
+          job.faults.zoo.adapt.target =
+              faultlab::AdaptiveConfig::Target::HighestDegree;
+        } else if (val == "recent") {
+          job.faults.zoo.adapt.target =
+              faultlab::AdaptiveConfig::Target::RecentlyRecolored;
+        } else {
+          bad("adapt-target must be 'degree' or 'recent'");
+        }
+      } else if (key == "churn-events") {
+        job.faults.zoo.churn.events = parse_u64(key, val);
+      } else if (key == "churn-alpha") {
+        job.faults.zoo.churn.alpha = parse_double(key, val);
+      } else if (key == "churn-attach") {
+        job.faults.zoo.churn.attach = parse_u64(key, val);
+      } else if (key == "churn-resets") {
+        job.faults.zoo.churn.resets_per_million = parse_ppm(key, val);
+      } else if (key == "churn-first") {
+        job.faults.zoo.churn.first_round = parse_u64(key, val);
+      } else if (key == "churn-last") {
+        job.faults.zoo.churn.last_round = parse_u64(key, val);
+      } else if (key == "churn-dmax") {
+        job.faults.zoo.churn.dmax = parse_u64(key, val);
+      } else if (key == "churn-grow") {
+        job.faults.zoo.churn.grow = parse_u64(key, val);
       } else if (key == "plan") {
         job.faults.plan_path = val;
       } else if (key == "plan-out") {
@@ -271,6 +336,42 @@ std::string Campaign::format() const {
     u64("adv-eadds", job.faults.periodic.edge_adds, 0);
     u64("adv-eremoves", job.faults.periodic.edge_removes, 0);
     u64("adv-dmax", job.faults.periodic.dmax, 0);
+    // Zoo families render only when they differ from the all-disabled
+    // default, keeping clean-wire lines byte-stable.
+    auto prob_dflt = [&](const char* key, std::uint32_t ppm, std::uint32_t d) {
+      if (ppm != d) {
+        out += std::string(" ") + key + "=" + fmt_double(ppm / 1'000'000.0);
+      }
+    };
+    const faultlab::ZooSpec zdflt;
+    const faultlab::ZooSpec& zoo = job.faults.zoo;
+    u64("out-lo", zoo.outage.lo, zdflt.outage.lo);
+    u64("out-hi", zoo.outage.hi, zdflt.outage.hi);
+    u64("out-first", zoo.outage.first_round, zdflt.outage.first_round);
+    u64("out-last", zoo.outage.last_round, zdflt.outage.last_round);
+    prob_dflt("flap-down", zoo.flap.down_per_million, zdflt.flap.down_per_million);
+    prob_dflt("flap-up", zoo.flap.up_per_million, zdflt.flap.up_per_million);
+    u64("flap-first", zoo.flap.first_round, zdflt.flap.first_round);
+    u64("flap-last", zoo.flap.last_round, zdflt.flap.last_round);
+    prob_dflt("byz-liars", zoo.byz.liars_per_million, zdflt.byz.liars_per_million);
+    prob_dflt("byz-rate", zoo.byz.lie_per_million, zdflt.byz.lie_per_million);
+    u64("byz-first", zoo.byz.first_round, zdflt.byz.first_round);
+    u64("byz-last", zoo.byz.last_round, zdflt.byz.last_round);
+    u64("adapt-period", zoo.adapt.period, zdflt.adapt.period);
+    u64("adapt-count", zoo.adapt.count, zdflt.adapt.count);
+    u64("adapt-last", zoo.adapt.last_round, zdflt.adapt.last_round);
+    if (zoo.adapt.target != zdflt.adapt.target) out += " adapt-target=recent";
+    u64("churn-events", zoo.churn.events, zdflt.churn.events);
+    if (zoo.churn.alpha != zdflt.churn.alpha) {
+      out += " churn-alpha=" + fmt_double(zoo.churn.alpha);
+    }
+    u64("churn-attach", zoo.churn.attach, zdflt.churn.attach);
+    prob_dflt("churn-resets", zoo.churn.resets_per_million,
+              zdflt.churn.resets_per_million);
+    u64("churn-first", zoo.churn.first_round, zdflt.churn.first_round);
+    u64("churn-last", zoo.churn.last_round, zdflt.churn.last_round);
+    u64("churn-dmax", zoo.churn.dmax, zdflt.churn.dmax);
+    u64("churn-grow", zoo.churn.grow, zdflt.churn.grow);
     if (!job.faults.plan_path.empty()) out += " plan=" + job.faults.plan_path;
     if (!job.faults.plan_out.empty()) out += " plan-out=" + job.faults.plan_out;
     u64("budget", job.faults.recovery_budget, dflt.faults.recovery_budget);

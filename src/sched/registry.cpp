@@ -9,10 +9,13 @@
 #include "agc/faultlab/channel.hpp"
 #include "agc/faultlab/harness.hpp"
 #include "agc/faultlab/plan.hpp"
+#include "agc/faultlab/zoo.hpp"
 #include "agc/runtime/engine.hpp"
 #include "agc/runtime/faults.hpp"
 #include "agc/sched/campaign.hpp"
 #include "agc/selfstab/ss_coloring.hpp"
+#include "agc/selfstab/ss_line.hpp"
+#include "agc/selfstab/ss_mis.hpp"
 
 /// \file registry.cpp
 /// The built-in campaign runners: every algorithm entry point the CLI can
@@ -109,27 +112,97 @@ JobResult run_matching(const RunnerContext& ctx) {
   return r;
 }
 
-JobResult run_ss(const RunnerContext& ctx, selfstab::PaletteMode mode) {
+/// Which self-stabilizing program a ss-* runner drives.  The fault plumbing
+/// (recording, replay, zoo adversaries, watchdog) is identical across tasks;
+/// only the installed program, legality check, and output metrics differ.
+enum class SsTask { ColorODelta, ColorExact, Mis, Line };
+
+JobResult run_ss(const RunnerContext& ctx, SsTask task) {
   const auto& g = ctx.g;
-  const std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
-  const selfstab::SsConfig cfg(
-      std::max<std::uint64_t>(g.n(), 1) * ctx.spec.id_space_factor, delta, mode);
+  const auto& fs = ctx.spec.faults;
+  std::size_t delta = std::max<std::size_t>(g.max_degree(), 1);
+  // The periodic adversary grows the topology up to its declared degree cap;
+  // a palette sized from the seed graph alone becomes infeasible after an
+  // adversarial edge add (ss-line's edge palette most of all), so the bound
+  // must absorb the cap up front.
+  if (fs.periodic.edge_adds + fs.periodic.clones > 0) {
+    delta = std::max(delta, fs.periodic.dmax);
+  }
+
+  // Resolve the declarative churn knobs before sizing anything: arrivals need
+  // headroom in both the ID space and the engine's n bound, and attachment
+  // must respect the ROM degree bound the programs were configured with.
+  faultlab::ZooSpec zoo = fs.zoo;
+  std::size_t grow = 0;
+  if (zoo.churn.enabled()) {
+    zoo.churn.dmax = std::min(zoo.churn.dmax, delta);
+    if (zoo.churn.grow > 0 && zoo.churn.max_vertices == 0) {
+      grow = zoo.churn.grow;
+      zoo.churn.max_vertices = g.n() + grow;
+    } else if (zoo.churn.max_vertices > g.n()) {
+      grow = zoo.churn.max_vertices - g.n();
+    }
+  }
+  const std::uint64_t n_cap = std::max<std::uint64_t>(g.n() + grow, 1);
+
+  const selfstab::PaletteMode mode = task == SsTask::ColorODelta
+                                         ? selfstab::PaletteMode::ODelta
+                                         : selfstab::PaletteMode::ExactDeltaPlusOne;
+  const selfstab::SsConfig cfg(n_cap * ctx.spec.id_space_factor, delta, mode);
+  const selfstab::SsLineConfig lcfg(n_cap, delta, selfstab::LineTask::EdgeColoring);
+
   runtime::EngineOptions eo;
   eo.id_space_factor = ctx.spec.id_space_factor;
   eo.delta_bound = delta;
+  if (grow > 0) eo.n_bound = n_cap;
   runtime::Engine engine(g, runtime::Transport(runtime::Model::LOCAL), eo);
   engine.set_executor(ctx.opts.executor);
-  engine.install(selfstab::ss_coloring_factory(cfg));
+  switch (task) {
+    case SsTask::Mis:
+      engine.install(selfstab::ss_mis_factory(cfg));
+      break;
+    case SsTask::Line:
+      engine.install(selfstab::ss_line_factory(lcfg));
+      break;
+    default:
+      engine.install(selfstab::ss_coloring_factory(cfg));
+      break;
+  }
 
   JobResult r;
-  const auto& fs = ctx.spec.faults;
   if (!fs.any()) {
-    const auto rep = selfstab::run_until_stable(engine, cfg, ctx.opts,
-                                                fs.confirm_rounds);
-    static_cast<runtime::RunReport&>(r) = rep;
-    r.ok = rep.stabilized;
-    r.palette = distinct_colors(rep.colors);
-    r.values = {{"rounds_to_stable", d(rep.rounds_to_stable)}};
+    switch (task) {
+      case SsTask::Mis: {
+        const auto rep = selfstab::run_until_mis_stable(engine, cfg, ctx.opts,
+                                                        fs.confirm_rounds);
+        static_cast<runtime::RunReport&>(r) = rep;
+        r.ok = rep.stabilized;
+        r.palette = distinct_colors(selfstab::current_colors(engine));
+        std::size_t size = 0;
+        for (const bool b : rep.in_mis) size += b;
+        r.values = {{"rounds_to_stable", d(rep.rounds_to_stable)},
+                    {"mis_size", d(size)}};
+        break;
+      }
+      case SsTask::Line: {
+        const auto rep = selfstab::run_until_line_stable(engine, lcfg, ctx.opts,
+                                                         fs.confirm_rounds);
+        static_cast<runtime::RunReport&>(r) = rep;
+        r.ok = rep.stabilized;
+        r.palette = distinct_colors(selfstab::current_edge_colors(engine));
+        r.values = {{"rounds_to_stable", d(rep.rounds_to_stable)}};
+        break;
+      }
+      default: {
+        const auto rep = selfstab::run_until_stable(engine, cfg, ctx.opts,
+                                                    fs.confirm_rounds);
+        static_cast<runtime::RunReport&>(r) = rep;
+        r.ok = rep.stabilized;
+        r.palette = distinct_colors(rep.colors);
+        r.values = {{"rounds_to_stable", d(rep.rounds_to_stable)}};
+        break;
+      }
+    }
     return r;
   }
 
@@ -139,6 +212,8 @@ JobResult run_ss(const RunnerContext& ctx, selfstab::PaletteMode mode) {
   std::unique_ptr<faultlab::ChannelPlayback> playback;
   std::unique_ptr<runtime::PeriodicAdversary> periodic;
   std::unique_ptr<faultlab::ChannelAdversary> channel;
+  faultlab::ChannelHookChain hook_chain;
+  faultlab::FaultAdversaryChain adv_chain;
   faultlab::FaultPlan plan;
   const bool record = !fs.plan_out.empty() && fs.plan_path.empty();
   if (record) engine.set_fault_recorder(&recorder);
@@ -149,13 +224,21 @@ JobResult run_ss(const RunnerContext& ctx, selfstab::PaletteMode mode) {
     ro.adversary = plan_adv.get();
     ro.channel = playback.get();
   } else {
+    runtime::FaultEventSink* sink =
+        record ? static_cast<runtime::FaultEventSink*>(&recorder) : nullptr;
     if (fs.channel.total_per_million() > 0) {
       auto ccfg = fs.channel;
       ccfg.seed = attempt_seed(ctx.spec.seed ^ kChannelStream, ctx.attempt);
-      channel = std::make_unique<faultlab::ChannelAdversary>(
-          ccfg, record ? static_cast<runtime::FaultEventSink*>(&recorder)
-                       : nullptr);
+      channel = std::make_unique<faultlab::ChannelAdversary>(ccfg, sink);
       ro.channel = channel.get();
+    }
+    if (zoo.any_channel()) {
+      // Classic channel noise stays first in the chain so its per-message
+      // decisions match the standalone trajectory; zoo hooks stack after it.
+      if (channel) hook_chain.add(*channel);
+      faultlab::append_channel_hooks(
+          hook_chain, zoo, attempt_seed(ctx.spec.seed, ctx.attempt), sink);
+      ro.channel = &hook_chain;
     }
     if (fs.periodic.corrupt + fs.periodic.clones + fs.periodic.edge_adds +
             fs.periodic.edge_removes >
@@ -164,11 +247,29 @@ JobResult run_ss(const RunnerContext& ctx, selfstab::PaletteMode mode) {
           attempt_seed(ctx.spec.seed, ctx.attempt), fs.periodic);
       ro.adversary = periodic.get();
     }
+    if (zoo.any_state()) {
+      if (periodic) adv_chain.add(*periodic);
+      faultlab::append_state_adversaries(
+          adv_chain, zoo, attempt_seed(ctx.spec.seed, ctx.attempt));
+      ro.adversary = &adv_chain;
+    }
   }
 
   faultlab::StabilizationSpec sspec;
-  sspec.check = faultlab::coloring_check(cfg);
-  sspec.outputs = faultlab::coloring_outputs();
+  switch (task) {
+    case SsTask::Mis:
+      sspec.check = faultlab::mis_check(cfg);
+      sspec.outputs = faultlab::mis_outputs();
+      break;
+    case SsTask::Line:
+      sspec.check = faultlab::line_check(lcfg);
+      sspec.outputs = faultlab::line_outputs();
+      break;
+    default:
+      sspec.check = faultlab::coloring_check(cfg);
+      sspec.outputs = faultlab::coloring_outputs();
+      break;
+  }
   sspec.recovery_budget = fs.recovery_budget;
   sspec.confirm_rounds = fs.confirm_rounds;
   const auto out = faultlab::run_stabilization(engine, ro, sspec);
@@ -176,10 +277,17 @@ JobResult run_ss(const RunnerContext& ctx, selfstab::PaletteMode mode) {
 
   static_cast<runtime::RunReport&>(r) = out;
   r.ok = out.recovered;
-  r.palette = distinct_colors(selfstab::current_colors(engine));
+  r.palette = task == SsTask::Line
+                  ? distinct_colors(selfstab::current_edge_colors(engine))
+                  : distinct_colors(selfstab::current_colors(engine));
   r.values = {{"recovery_rounds", d(out.recovery_rounds)},
               {"adjusted", d(out.adjusted.size())},
               {"last_fault_round", d(out.last_fault_round)}};
+  if (task == SsTask::Mis) {
+    std::size_t size = 0;
+    for (const bool b : selfstab::current_mis(engine)) size += b;
+    r.values.push_back({"mis_size", d(size)});
+  }
   if (!out.recovered) {
     r.watchdog = true;
     char buf[160];
@@ -202,11 +310,19 @@ JobResult run_ss(const RunnerContext& ctx, selfstab::PaletteMode mode) {
 }
 
 JobResult run_ss_odelta(const RunnerContext& ctx) {
-  return run_ss(ctx, selfstab::PaletteMode::ODelta);
+  return run_ss(ctx, SsTask::ColorODelta);
 }
 
 JobResult run_ss_exact(const RunnerContext& ctx) {
-  return run_ss(ctx, selfstab::PaletteMode::ExactDeltaPlusOne);
+  return run_ss(ctx, SsTask::ColorExact);
+}
+
+JobResult run_ss_mis(const RunnerContext& ctx) {
+  return run_ss(ctx, SsTask::Mis);
+}
+
+JobResult run_ss_line(const RunnerContext& ctx) {
+  return run_ss(ctx, SsTask::Line);
 }
 
 const Runner kRunners[] = {
@@ -225,6 +341,10 @@ const Runner kRunners[] = {
      &run_ss_odelta, true},
     {"ss-color-exact", "self-stabilizing exact (Delta+1)-coloring under faults",
      &run_ss_exact, true},
+    {"ss-mis", "self-stabilizing MIS (coloring + decision wave) under faults",
+     &run_ss_mis, true},
+    {"ss-line", "self-stabilizing (2Delta-1)-edge-coloring on L(G) under faults",
+     &run_ss_line, true},
 };
 
 }  // namespace

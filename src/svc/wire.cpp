@@ -1,5 +1,6 @@
 #include "agc/svc/wire.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <vector>
 
@@ -61,6 +62,40 @@ bool decode_frame(std::string& buffer, std::string& payload) {
   payload.assign(buffer, 4, len);
   buffer.erase(0, 4 + static_cast<std::size_t>(len));
   return true;
+}
+
+void FrameReader::feed(std::string_view bytes) {
+  if (skip_ > 0) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(skip_, bytes.size());
+    skip_ -= take;
+    bytes.remove_prefix(static_cast<std::size_t>(take));
+  }
+  buffer_.append(bytes);
+}
+
+FrameStatus FrameReader::next(std::string& payload) {
+  if (buffer_.size() < 4) return FrameStatus::Incomplete;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t len = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (len > max_) {
+    // Drop the header and whatever payload already arrived; the rest is
+    // discarded inside feed() so it never occupies memory.
+    buffer_.erase(0, 4);
+    const std::uint64_t have =
+        std::min<std::uint64_t>(len, buffer_.size());
+    buffer_.erase(0, static_cast<std::size_t>(have));
+    skip_ = len - have;
+    return FrameStatus::TooLarge;
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(len)) {
+    return FrameStatus::Incomplete;
+  }
+  payload.assign(buffer_, 4, len);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(len));
+  return FrameStatus::Ok;
 }
 
 bool is_quit(std::string_view line) { return line == "quit"; }

@@ -308,6 +308,48 @@ TEST(Wire, FramesRoundTripAndSplitAcrossReads) {
   EXPECT_TRUE(buffer.empty());
 }
 
+TEST(Wire, GarbageFrameMidSessionKeepsServing) {
+  // A hostile client declares a frame far above the cap, sends part of its
+  // garbage payload, then resumes speaking the protocol.  The daemon's
+  // bounded reader must report the bad frame once, discard the declared
+  // bytes without buffering them, and pick the session back up.
+  svc::Service service(small_config());
+  svc::FrameReader reader;
+  std::string payload;
+
+  reader.feed(svc::encode_frame("add_edge 0 100"));
+  ASSERT_EQ(reader.next(payload), svc::FrameStatus::Ok);
+  EXPECT_EQ(svc::handle_command(service, payload), "queued 0");
+
+  const std::uint32_t huge = svc::kMaxFramePayload + 1234;
+  std::string garbage;
+  for (int i = 0; i < 4; ++i) {
+    garbage.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  garbage.append(512, '\x7f');
+  reader.feed(garbage);
+  EXPECT_EQ(reader.next(payload), svc::FrameStatus::TooLarge);
+  // Never more than a read chunk in memory, no matter the declared length.
+  EXPECT_LT(reader.buffered(), 4096u);
+
+  // The rest of the garbage streams in, split across reads, then a valid
+  // command; the reader resynchronizes exactly at the frame boundary.
+  std::string rest(huge - 512, '\x7f');
+  rest += svc::encode_frame("pump");
+  const std::size_t half = rest.size() / 2;
+  reader.feed(std::string_view(rest).substr(0, half));
+  EXPECT_EQ(reader.next(payload), svc::FrameStatus::Incomplete);
+  reader.feed(std::string_view(rest).substr(half));
+  ASSERT_EQ(reader.next(payload), svc::FrameStatus::Ok);
+  EXPECT_EQ(payload, "pump");
+  EXPECT_EQ(svc::handle_command(service, payload), "pumped 1");
+  EXPECT_EQ(reader.next(payload), svc::FrameStatus::Incomplete);
+
+  // Session still healthy end to end.
+  const std::string q = svc::handle_command(service, "query 0");
+  EXPECT_EQ(q.rfind("ok ", 0), 0u);
+}
+
 TEST(Wire, CommandsDriveTheService) {
   svc::Service service(small_config());
   EXPECT_EQ(svc::handle_command(service, "add_edge 0 100"), "queued 0");

@@ -8,6 +8,16 @@
 //                     [--adv-period N] [--adv-last R] [--adv-corrupt K]
 //                     [--adv-range V] [--adv-clones K] [--adv-eadds K]
 //                     [--adv-eremoves K] [--adv-dmax D]
+//                     [--out-lo V] [--out-hi V] [--out-first R] [--out-last R]
+//                     [--flap-down P] [--flap-up P] [--flap-first R]
+//                     [--flap-last R]
+//                     [--byz-liars P] [--byz-rate P] [--byz-first R]
+//                     [--byz-last R]
+//                     [--adapt-period N] [--adapt-count K] [--adapt-last R]
+//                     [--adapt-target degree|recent]
+//                     [--churn-events N] [--churn-alpha F] [--churn-attach K]
+//                     [--churn-resets P] [--churn-first R] [--churn-last R]
+//                     [--churn-dmax D] [--churn-grow N]
 //                     [--budget N] [--confirm N] [--plan-out-dir DIR]
 //                     [--out FILE]
 //   agc-campaign ls --file FILE
@@ -17,7 +27,10 @@
 // canonical GraphSpec spelling) that `agccli campaign run` executes.  With
 // --plan-out-dir each fault job records its injected faults and saves a
 // replayable plan there when it fails — the nightly fuzz artifact.
-// Channel probabilities are floats in [0,1].
+// Channel, flap, byz, and churn-reset probabilities are floats in [0,1].
+// The out-/flap-/byz-/adapt-/churn- families configure the adversary zoo
+// (docs/FAULTS.md): regional outages, flapping links, Byzantine-valued
+// neighbors, the adaptive RAM adversary, and power-law churn traces.
 
 #include <cstdio>
 #include <cstdlib>
@@ -108,6 +121,43 @@ int cmd_grid(const Args& a) {
   base.faults.periodic.edge_adds = a.num("adv-eadds", 0);
   base.faults.periodic.edge_removes = a.num("adv-eremoves", 0);
   base.faults.periodic.dmax = a.num("adv-dmax", 0);
+  auto& zoo = base.faults.zoo;
+  if (a.has("out-lo")) zoo.outage.lo = static_cast<graph::Vertex>(a.num("out-lo", 0));
+  if (a.has("out-hi")) zoo.outage.hi = static_cast<graph::Vertex>(a.num("out-hi", 0));
+  zoo.outage.first_round = a.num("out-first", zoo.outage.first_round);
+  if (a.has("out-last")) zoo.outage.last_round = a.num("out-last", 0);
+  if (a.has("flap-down")) zoo.flap.down_per_million = ppm(a, "flap-down");
+  if (a.has("flap-up")) zoo.flap.up_per_million = ppm(a, "flap-up");
+  zoo.flap.first_round = a.num("flap-first", zoo.flap.first_round);
+  if (a.has("flap-last")) zoo.flap.last_round = a.num("flap-last", 0);
+  if (a.has("byz-liars")) zoo.byz.liars_per_million = ppm(a, "byz-liars");
+  if (a.has("byz-rate")) zoo.byz.lie_per_million = ppm(a, "byz-rate");
+  zoo.byz.first_round = a.num("byz-first", zoo.byz.first_round);
+  if (a.has("byz-last")) zoo.byz.last_round = a.num("byz-last", 0);
+  zoo.adapt.period = a.num("adapt-period", zoo.adapt.period);
+  zoo.adapt.count = a.num("adapt-count", 0);
+  if (a.has("adapt-last")) zoo.adapt.last_round = a.num("adapt-last", 0);
+  if (a.has("adapt-target")) {
+    const std::string t = a.get("adapt-target");
+    if (t == "degree") {
+      zoo.adapt.target = faultlab::AdaptiveConfig::Target::HighestDegree;
+    } else if (t == "recent") {
+      zoo.adapt.target = faultlab::AdaptiveConfig::Target::RecentlyRecolored;
+    } else {
+      usage("--adapt-target must be degree or recent");
+    }
+  }
+  zoo.churn.events = a.num("churn-events", 0);
+  if (a.has("churn-alpha")) {
+    zoo.churn.alpha = std::strtod(a.get("churn-alpha").c_str(), nullptr);
+    if (zoo.churn.alpha <= 0.0) usage("--churn-alpha must be positive");
+  }
+  zoo.churn.attach = a.num("churn-attach", zoo.churn.attach);
+  if (a.has("churn-resets")) zoo.churn.resets_per_million = ppm(a, "churn-resets");
+  zoo.churn.first_round = a.num("churn-first", zoo.churn.first_round);
+  if (a.has("churn-last")) zoo.churn.last_round = a.num("churn-last", 0);
+  zoo.churn.dmax = a.num("churn-dmax", zoo.churn.dmax);
+  zoo.churn.grow = a.num("churn-grow", 0);
   base.faults.recovery_budget = a.num("budget", base.faults.recovery_budget);
   base.faults.confirm_rounds = a.num("confirm", base.faults.confirm_rounds);
 

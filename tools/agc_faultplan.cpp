@@ -12,14 +12,22 @@
 //       [--drop P] [--corrupt P] [--dup P] [--delay P] [--period K]
 //       [--last-round R] [--ram-corrupt C] [--clones C] [--out plan.jsonl]
 //       [--shrink]
+//       plus the adversary-zoo knobs (docs/FAULTS.md):
+//       [--out-lo V --out-hi V] [--flap-down P [--flap-up P]]
+//       [--byz-liars P [--byz-rate P]]
+//       [--adapt-count K [--adapt-period N] [--adapt-target degree|recent]]
+//       [--churn-events N [--churn-grow N] [--churn-resets P]]
 //       One seeded campaign run of ss_coloring under the channel adversary +
-//       periodic RAM/topology adversary, recording every injected fault.
-//       Exit 0 when the run restabilizes; exit 1 (after writing --out, shrunk
-//       when --shrink is given) when it does not — CI uploads the plan.
+//       periodic RAM/topology adversary + any enabled zoo adversaries,
+//       recording every injected fault.  Exit 0 when the run restabilizes;
+//       exit 1 (after writing --out, shrunk when --shrink is given) when it
+//       does not — CI uploads the plan.
 //
 // Probabilities P are per-edge-per-round, given as floats in [0,1] and
-// converted to the parts-per-million grid the adversary uses.
+// converted to the parts-per-million grid the adversary uses.  Zoo windows
+// default to [1, --last-round] like the channel adversary's.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -32,6 +40,7 @@
 #include "agc/faultlab/harness.hpp"
 #include "agc/faultlab/plan.hpp"
 #include "agc/faultlab/shrink.hpp"
+#include "agc/faultlab/zoo.hpp"
 #include "agc/graph/spec.hpp"
 #include "agc/runtime/faults.hpp"
 #include "agc/selfstab/ss_coloring.hpp"
@@ -215,14 +224,53 @@ int cmd_shrink(const Args& a) {
   return 0;
 }
 
+faultlab::ZooSpec parse_zoo(const Args& a, const graph::Graph& g,
+                            std::size_t dmax_bound) {
+  const std::uint64_t zoo_last = a.num("last-round", 24);
+  faultlab::ZooSpec zoo;
+  zoo.outage.lo = static_cast<graph::Vertex>(a.num("out-lo", 1));
+  zoo.outage.hi = static_cast<graph::Vertex>(a.num("out-hi", 0));
+  zoo.outage.first_round = a.num("out-first", 1);
+  zoo.outage.last_round = a.num("out-last", zoo_last);
+  zoo.flap.down_per_million = a.ppm("flap-down");
+  if (a.has("flap-up")) zoo.flap.up_per_million = a.ppm("flap-up");
+  zoo.flap.first_round = a.num("flap-first", 1);
+  zoo.flap.last_round = a.num("flap-last", zoo_last);
+  zoo.byz.liars_per_million = a.ppm("byz-liars");
+  if (a.has("byz-rate")) zoo.byz.lie_per_million = a.ppm("byz-rate");
+  zoo.byz.first_round = a.num("byz-first", 1);
+  zoo.byz.last_round = a.num("byz-last", zoo_last);
+  zoo.adapt.count = a.num("adapt-count", 0);
+  zoo.adapt.period = a.num("adapt-period", 1);
+  zoo.adapt.last_round = a.num("adapt-last", zoo_last);
+  const std::string target = a.get("adapt-target", "degree");
+  if (target == "recent") {
+    zoo.adapt.target = faultlab::AdaptiveConfig::Target::RecentlyRecolored;
+  } else if (target != "degree") {
+    usage("--adapt-target must be degree or recent");
+  }
+  zoo.churn.events = a.num("churn-events", 0);
+  zoo.churn.attach = a.num("churn-attach", 2);
+  if (a.has("churn-resets")) zoo.churn.resets_per_million = a.ppm("churn-resets");
+  zoo.churn.last_round = a.num("churn-last", zoo_last);
+  zoo.churn.dmax = std::min<std::size_t>(a.num("churn-dmax", dmax_bound),
+                                         dmax_bound);
+  zoo.churn.max_vertices = g.n() + a.num("churn-grow", 0);
+  return zoo;
+}
+
 int cmd_fuzz(const Args& a) {
   if (!a.has("graph")) usage("fuzz needs --graph");
   const auto g = make_graph(a.get("graph"));
   const std::uint64_t seed = a.num("seed", 1);
-  const selfstab::SsConfig cfg(g.n(), g.max_degree(),
+  const std::size_t dmax_bound = g.max_degree() + 2;
+  const faultlab::ZooSpec zoo = parse_zoo(a, g, dmax_bound);
+  const std::size_t grow = a.num("churn-grow", 0);
+  const selfstab::SsConfig cfg(g.n() + grow, g.max_degree(),
                                selfstab::PaletteMode::ODelta);
   runtime::EngineOptions eo;
-  eo.delta_bound = g.max_degree() + 2;
+  eo.delta_bound = dmax_bound;
+  if (grow > 0) eo.n_bound = g.n() + grow;
   runtime::Engine engine(g, runtime::Transport(runtime::Model::LOCAL), eo);
   if (a.has("threads")) {
     engine.set_executor(exec::make_executor(a.num("threads", 1)));
@@ -253,9 +301,23 @@ int cmd_fuzz(const Args& a) {
        .edge_removes = a.num("edge-removes", 0),
        .dmax = g.max_degree() + 2});
 
+  faultlab::ChannelHookChain hooks;
+  if (zoo.any_channel()) {
+    hooks.add(chan);
+    faultlab::append_channel_hooks(hooks, zoo, seed, &rec);
+  }
+  faultlab::FaultAdversaryChain advs;
+  if (zoo.any_state()) {
+    advs.add(adv);
+    faultlab::append_state_adversaries(advs, zoo, seed);
+  }
+
   runtime::RunOptions opts;
-  opts.adversary = &adv;
-  opts.channel = &chan;
+  opts.adversary = zoo.any_state()
+                       ? static_cast<runtime::FaultAdversary*>(&advs)
+                       : &adv;
+  opts.channel =
+      zoo.any_channel() ? static_cast<runtime::ChannelHook*>(&hooks) : &chan;
   opts.max_rounds = a.num("rounds", 8000);
   const auto rep = selfstab::run_until_stable(engine, cfg, opts);
   engine.set_fault_recorder(nullptr);

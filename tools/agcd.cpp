@@ -81,10 +81,10 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
-/// One connected client: a receive buffer frames are peeled from.
+/// One connected client: a bounded frame scanner raw bytes feed into.
 struct Client {
   int fd;
-  std::string buffer;
+  svc::FrameReader reader;
 };
 
 bool send_all(int fd, const std::string& bytes) {
@@ -153,6 +153,33 @@ int selfcheck(svc::Service& service) {
   if (handled != std::size(script) || !saw_quit || !stream.empty()) return 1;
   if (service.stats().legality_violations != 0 ||
       service.stats().rejected != 0) {
+    return 1;
+  }
+
+  // Second phase: the bounded reader must survive an oversized garbage frame
+  // sandwiched between valid commands and resynchronize on the next prefix.
+  svc::FrameReader reader;
+  std::string hostile = svc::encode_frame("stats");
+  const std::uint32_t huge = svc::kMaxFramePayload + 9;
+  for (int i = 0; i < 4; ++i) {
+    hostile.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  hostile.append(1024, '\xee');  // partial garbage payload, rest never sent...
+  std::string tail(huge - 1024, '\xee');
+  tail += svc::encode_frame("query 1");  // ...until here
+  const svc::FrameStatus s0 = reader.next(payload);
+  reader.feed(hostile);
+  const svc::FrameStatus s1 = reader.next(payload);
+  const bool stats_ok = s1 == svc::FrameStatus::Ok && payload == "stats";
+  const svc::FrameStatus s2 = reader.next(payload);
+  reader.feed(tail);
+  const svc::FrameStatus s3 = reader.next(payload);
+  const bool query_ok = s3 == svc::FrameStatus::Ok && payload == "query 1";
+  const bool bounded = reader.buffered() < 4096;
+  if (s0 != svc::FrameStatus::Incomplete || !stats_ok ||
+      s2 != svc::FrameStatus::TooLarge || !query_ok || !bounded ||
+      reader.next(payload) != svc::FrameStatus::Incomplete) {
+    std::fprintf(stderr, "selfcheck: frame reader failed\n");
     return 1;
   }
   std::printf("selfcheck ok: %zu frames, %s\n", handled,
@@ -227,12 +254,18 @@ int main(int argc, char** argv) {
       const ssize_t n = ::read(c.fd, buf, sizeof buf);
       bool drop = n <= 0;
       if (n > 0) {
-        c.buffer.append(buf, static_cast<std::size_t>(n));
+        c.reader.feed({buf, static_cast<std::size_t>(n)});
         std::string payload;
-        while (!drop && svc::decode_frame(c.buffer, payload)) {
-          const std::string reply = svc::handle_command(service, payload);
+        while (!drop) {
+          const svc::FrameStatus st = c.reader.next(payload);
+          if (st == svc::FrameStatus::Incomplete) break;
+          // Oversized/garbage frames get an error reply and the connection
+          // keeps serving — a confused client must not kill the daemon.
+          const std::string reply = st == svc::FrameStatus::TooLarge
+                                        ? "err frame too large"
+                                        : svc::handle_command(service, payload);
           if (!send_all(c.fd, svc::encode_frame(reply))) drop = true;
-          if (svc::is_quit(payload)) drop = true;
+          if (st == svc::FrameStatus::Ok && svc::is_quit(payload)) drop = true;
         }
       }
       if (drop) {
