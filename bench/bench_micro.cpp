@@ -10,7 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include "agc/coloring/ag.hpp"
+#include "agc/coloring/fyz.hpp"
 #include "agc/coloring/linial.hpp"
+#include "agc/coloring/luby.hpp"
 #include "agc/graph/generators.hpp"
 #include "agc/math/polynomial.hpp"
 #include "agc/math/primes.hpp"
@@ -247,6 +249,47 @@ void BM_MessagePathChannelAdversary(benchmark::State& state) {
 }
 BENCHMARK(BM_MessagePathChannelAdversary)->Arg(64)
     ->Unit(benchmark::kMillisecond);
+
+// End-to-end round throughput of the two new registry entries: one complete
+// pipeline run per iteration on the BM_MessagePathRegular graph, counting
+// engine rounds actually executed.  Named BM_MessagePath* so the CI
+// perf-gate filter ('MessagePath|AsyncVsBarrier') tracks their
+// rounds_per_sec against the committed baseline with no workflow change.
+void BM_MessagePathFyz(benchmark::State& state) {
+  const auto delta = static_cast<std::size_t>(state.range(0));
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(4096, delta, 97 + delta));
+  const graph::GraphView g = rg.view();
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    const auto rep = coloring::color_fyz(g);
+    rounds += rep.rounds;
+    benchmark::DoNotOptimize(rep.palette);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(rounds), benchmark::Counter::kIsRate);
+  state.counters["threads"] = 1.0;
+}
+BENCHMARK(BM_MessagePathFyz)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_MessagePathLuby(benchmark::State& state) {
+  const auto delta = static_cast<std::size_t>(state.range(0));
+  const auto rg = benchutil::resolve_graph(benchutil::regular_spec(4096, delta, 97 + delta));
+  const graph::GraphView g = rg.view();
+  coloring::PipelineOptions po;
+  po.run().seed = 1;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    const auto rep = coloring::color_luby(g, po);
+    rounds += rep.rounds;
+    benchmark::DoNotOptimize(rep.palette);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(rounds), benchmark::Counter::kIsRate);
+  state.counters["threads"] = 1.0;
+}
+BENCHMARK(BM_MessagePathLuby)->Arg(64)->Unit(benchmark::kMillisecond);
 
 // Barrier-free vs barriered rounds/sec on the identical message-path load:
 // range(0) picks the backend (0 = BSP per-step, 1 = async windowed).  The

@@ -1,22 +1,28 @@
-// Experiment T1 — regenerates Table 1 of the paper empirically: measured
-// round counts of the locally-iterative (Delta+1)-coloring algorithms on the
-// same graphs.
+// Experiment T1 — the living Table 1: measured round counts of the
+// (Delta+1)-coloring algorithms on the same graphs, extended past the
+// paper's own columns to its successor and the classic randomized baseline.
 //
 //   Goldberg-Plotkin-Shannon / Linial + standard reduction:  O(Delta^2 + log* n)
 //   Szegedy-Vishwanathan / Kuhn-Wattenhofer:                 O(Delta log Delta + log* n)
 //   This paper (Linial + AG + O(Delta) reduction):           O(Delta + log* n)
 //   This paper, exact variant (Linial + mixed AG, Sec. 7):   O(Delta + log* n)
+//   Fu-Yin-Zheng (arXiv 2207.14458):                         O(Delta^(3/4) log Delta + log* n)
+//   Luby-style randomized (seeded):                          O(log n) expected
 //
-// The shape to check: the GPS column grows quadratically in Delta, KW grows
-// Delta*log(Delta), both AG columns grow linearly; every run ends at exactly
-// Delta+1 colors with every intermediate coloring proper.
+// The shape to check: GPS grows quadratically in Delta, KW grows
+// Delta*log(Delta), both AG columns grow linearly, FYZ grows strictly slower
+// than AG (crossing below it well before Delta=256), and Luby is flat-ish in
+// Delta; every deterministic run ends at exactly Delta+1 colors with every
+// intermediate coloring proper (Luby is measured on final properness only —
+// it holds no proper coloring mid-run).
 //
 // The T1 sweep runs through the campaign scheduler (src/sched): one job per
-// (algorithm, Delta) cell, all four algorithm columns of a row sharing one
-// cached graph build.  --threads N gives the scheduler N workers (per-cell
-// results are bit-identical to the 1-thread run — checked live when N > 1,
-// along with the wall-clock speedup); --json FILE emits the per-row
-// rounds/messages/bits + wall time tagged with the GraphSpec string.
+// (algorithm, Delta) cell, dispatched by registry name (coloring::
+// AlgoRegistry), all algorithm columns of a row sharing one cached graph
+// build.  --threads N gives the scheduler N workers (per-cell results are
+// bit-identical to the 1-thread run — checked live when N > 1, along with
+// the wall-clock speedup); --json FILE emits the per-row rounds/messages/
+// bits + wall time tagged with the GraphSpec string.
 
 #include <cstdio>
 #include <string>
@@ -34,11 +40,13 @@ namespace {
 
 using namespace agc;
 
-constexpr std::size_t kDeltas[] = {4, 8, 16, 32, 64, 96, 128};
-constexpr const char* kAlgos[] = {"gps", "kw", "ag", "exact"};
+constexpr std::size_t kDeltas[] = {4, 8, 16, 32, 64, 96, 128, 192, 256};
+constexpr const char* kAlgos[] = {"gps", "kw", "ag", "exact", "fyz", "luby"};
+constexpr std::size_t kStride = std::size(kAlgos);
 
-/// The T1 grid: 4 algorithm columns x 7 Delta rows, row-major, so the job
-/// for (delta index di, algorithm index ai) is campaign job 4*di + ai.
+/// The T1 grid: one column per registry algorithm x 9 Delta rows, row-major,
+/// so the job for (delta index di, algorithm index ai) is campaign job
+/// kStride*di + ai.
 sched::Campaign make_t1_campaign() {
   sched::Campaign c;
   for (const std::size_t delta : kDeltas) {
@@ -95,28 +103,36 @@ int main(int argc, char** argv) {
   }
 
   benchutil::Table table({"Delta", "GPS O(D^2)", "KW O(D logD)", "AG (ours)",
-                          "AG exact (ours)", "palette", "all proper/rnd",
-                          "wall s"});
+                          "AG exact (ours)", "FYZ O(D^3/4)", "Luby rnd",
+                          "palette", "all proper/rnd", "wall s"});
   benchutil::JsonEmitter json("table1", opts.threads);
 
   for (std::size_t di = 0; di < std::size(kDeltas); ++di) {
-    const auto& gps = report.jobs[4 * di + 0];
-    const auto& kw = report.jobs[4 * di + 1];
-    const auto& ag = report.jobs[4 * di + 2];
-    const auto& ex = report.jobs[4 * di + 3];
-    const bool ok = gps.ok && kw.ok && ag.ok && ex.ok;
+    const auto& gps = report.jobs[kStride * di + 0];
+    const auto& kw = report.jobs[kStride * di + 1];
+    const auto& ag = report.jobs[kStride * di + 2];
+    const auto& ex = report.jobs[kStride * di + 3];
+    const auto& fyz = report.jobs[kStride * di + 4];
+    const auto& luby = report.jobs[kStride * di + 5];
+    const bool ok =
+        gps.ok && kw.ok && ag.ok && ex.ok && fyz.ok && luby.ok;
+    // Luby holds no proper coloring mid-run by construction, so the
+    // locally-iterative invariant column covers the deterministic entries.
     const bool li = value_of(gps, "proper_each_round") == 1.0 &&
                     value_of(kw, "proper_each_round") == 1.0 &&
                     value_of(ag, "proper_each_round") == 1.0 &&
-                    value_of(ex, "proper_each_round") == 1.0;
+                    value_of(ex, "proper_each_round") == 1.0 &&
+                    value_of(fyz, "proper_each_round") == 1.0;
     const double row_wall =
         static_cast<double>(gps.wall_ns + kw.wall_ns + ag.wall_ns +
-                            ex.wall_ns) / 1e9;
+                            ex.wall_ns + fyz.wall_ns + luby.wall_ns) / 1e9;
     table.add_row({benchutil::num(std::uint64_t{kDeltas[di]}),
                    benchutil::num(std::uint64_t{gps.rounds}),
                    benchutil::num(std::uint64_t{kw.rounds}),
                    benchutil::num(std::uint64_t{ag.rounds}),
                    benchutil::num(std::uint64_t{ex.rounds}),
+                   benchutil::num(std::uint64_t{fyz.rounds}),
+                   benchutil::num(std::uint64_t{luby.rounds}),
                    benchutil::num(std::uint64_t{ag.palette}),
                    ok && li ? "yes" : "NO", benchutil::num(row_wall)});
     json.row(ag.graph)
@@ -125,6 +141,8 @@ int main(int argc, char** argv) {
         .kv("rounds_kw", std::uint64_t{kw.rounds})
         .kv("rounds_ag", std::uint64_t{ag.rounds})
         .kv("rounds_ag_exact", std::uint64_t{ex.rounds})
+        .kv("rounds_fyz", std::uint64_t{fyz.rounds})
+        .kv("rounds_luby", std::uint64_t{luby.rounds})
         .kv("palette", std::uint64_t{ag.palette})
         .kv("messages_ag", ag.metrics.messages)
         .kv("total_bits_ag", ag.metrics.total_bits)

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "agc/coloring/pipeline.hpp"
+
+/// \file luby.hpp
+/// Seeded Luby-style randomized (Delta+1)-coloring — the classic baseline
+/// every distributed-coloring table is measured against.
+///
+/// Per round, every still-uncolored vertex draws a candidate uniformly from
+/// its free list (the (Delta+1)-palette minus the colors of finalized
+/// neighbors) and commits unless a neighbor holds that color or an active
+/// neighbor drew the same candidate this round (symmetric defer — fresh
+/// randomness next round breaks the tie).  With a fresh draw per round this
+/// finishes in O(log n) rounds in expectation.
+///
+/// Determinism contract (RunOptions::seed): the candidate drawn by vertex v
+/// in round r is H(seed, r, v) reduced onto the free list — a pure function
+/// of (seed, round, vertex id), never of thread count, executor choice or
+/// message arrival order.  A fixed seed therefore replays bit-identically
+/// across 1/2/8 threads and per-step across the bsp/async executors (async
+/// windowed driving may trim trailing bookkeeping rounds, like every
+/// pipeline; the colors and per-vertex commit rounds are identical).
+/// Distinct seeds give distinct trajectories.
+///
+/// Unlike everything else in coloring/, Luby is NOT locally-iterative: an
+/// uncolored vertex has no proper color to maintain, so PipelineReport::
+/// proper_each_round is reported false by construction.  That contrast —
+/// randomized O(log n) without the invariant vs deterministic sublinear with
+/// it — is exactly what the extended Table 1 measures.
+
+namespace agc::coloring {
+
+/// Run the seeded Luby-style coloring.  rounds_core carries the full round
+/// count; palette <= Delta+1; RunOptions::seed selects the trajectory.
+[[nodiscard]] PipelineReport color_luby(graph::GraphView g,
+                                        const PipelineOptions& opts = {});
+
+}  // namespace agc::coloring

@@ -38,6 +38,9 @@ struct PipelineOptions {
   runtime::IterativeOptions iter;
   /// ID space = id_space_factor * n; sweeping it exercises the log* term.
   std::uint64_t id_space_factor = 1;
+  /// Palette slack for the (1+eps)Delta entry point (registry algo "eps");
+  /// every other pipeline ignores it.
+  double eps = 0.5;
 
   /// The unified RunOptions core the stages run under (== iter's base).
   [[nodiscard]] runtime::RunOptions& run() noexcept { return iter; }

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "agc/coloring/pipeline.hpp"
+
+/// \file registry.hpp
+/// The unified algorithm registry — the one table every front end (agccli,
+/// bench_table1, the campaign scheduler) dispatches coloring algorithms
+/// through.  Adding an algorithm here makes it reachable from the CLI, the
+/// living Table 1 and declarative job grids with no per-tool switch to edit.
+///
+/// Every entry runs under the same contract: GraphView in (either topology
+/// backend), unified PipelineOptions (implicitly constructible from a bare
+/// runtime::RunOptions) carrying the executor/model/observability hooks and
+/// the RunOptions::seed, PipelineReport out.  `requires_seed` marks the
+/// randomized entries whose trajectory is selected by RunOptions::seed
+/// (deterministic algorithms ignore it).
+
+namespace agc::coloring {
+
+struct AlgoSpec {
+  const char* name;     ///< registry key (CLI --algo, campaign `algo`)
+  const char* family;   ///< "locally-iterative" | "classwise" | "randomized"
+  const char* summary;  ///< one-liner for listings and error messages
+  /// Worst-case palette bound as a function of the max degree (and, for the
+  /// eps entry, PipelineOptions::eps).  Tests assert measured palettes
+  /// against this instead of hard-coding per-algorithm constants.
+  std::uint64_t (*palette_bound)(std::size_t delta, const PipelineOptions& opts);
+  /// True for randomized algorithms: RunOptions::seed selects the
+  /// trajectory under the documented (seed, round, vertex id) contract.
+  bool requires_seed;
+  PipelineReport (*run)(graph::GraphView g, const PipelineOptions& opts);
+};
+
+/// Every registered algorithm, in listing order.
+[[nodiscard]] std::span<const AlgoSpec> algos() noexcept;
+
+/// Lookup by registry key; nullptr when unknown.
+[[nodiscard]] const AlgoSpec* find_algo(std::string_view name) noexcept;
+
+/// "gps, kw, ag, ..." — for uniform unknown-algorithm error messages.
+[[nodiscard]] std::string algo_list();
+
+}  // namespace agc::coloring

@@ -65,6 +65,16 @@ struct RunOptions {
   /// Static tag attached to emitted events (stage name, algorithm name).
   const char* tag = nullptr;
 
+  /// Seed for randomized algorithms (coloring::luby today).  Determinism
+  /// contract: any randomized entry point must derive its per-vertex
+  /// randomness as a pure function of (seed, round, vertex id) — never of
+  /// thread count, executor choice, or scheduling — so a run replays
+  /// bit-identically across 1/2/8 threads and the bsp/async executors.
+  /// This is the ONE seed spelling for algorithm randomness; per-call seed
+  /// parameters on coloring entry points are not accepted (CI grep-gates
+  /// include/agc/coloring for them).  Deterministic algorithms ignore it.
+  std::uint64_t seed = 1;
+
   [[nodiscard]] bool observing() const noexcept {
     return sink != nullptr || collect_phase_times;
   }

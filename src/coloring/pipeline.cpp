@@ -8,55 +8,15 @@
 #include "agc/coloring/linial.hpp"
 #include "agc/coloring/reduction.hpp"
 #include "agc/obs/event_sink.hpp"
+#include "stage.hpp"
 
 namespace agc::coloring {
 
+using detail::finish;
+using detail::fresh_report;
+using detail::run_stage;
+
 namespace {
-
-/// Per-stage options: the pipeline's iterative options with the stage's
-/// static tag attached, so emitted events and traces name the stage.
-runtime::IterativeOptions stage_opts(const PipelineOptions& opts,
-                                     const char* tag) {
-  runtime::IterativeOptions o = opts.iter;
-  o.tag = tag;
-  return o;
-}
-
-void stage_event(const PipelineOptions& opts, obs::EventKind kind,
-                 const char* tag, std::size_t rounds_so_far, std::size_t value,
-                 std::uint64_t ns = 0) {
-  if (opts.iter.sink == nullptr) return;
-  obs::Event ev;
-  ev.kind = kind;
-  ev.round = rounds_so_far;
-  ev.label = tag;
-  ev.value = value;
-  ev.ns = ns;
-  opts.iter.sink->emit(ev);
-}
-
-/// Fold one iterative stage into the report: rounds/metrics/wall add,
-/// convergence ANDs (RunReport::absorb), and the locally-iterative invariant
-/// ANDs.  Stages run fresh engines with independent per-edge ledgers, so
-/// max_edge_bits is a max over stages — Metrics::merge already does that.
-void fold_stage(PipelineReport& rep, const runtime::IterativeResult& r) {
-  rep.absorb(r);
-  rep.proper_each_round = rep.proper_each_round && r.proper_each_round;
-}
-
-/// Run one stage bracketed by StageStart/StageEnd events and fold it.
-/// `runner` is the stage body; it receives the stage-tagged options.
-template <typename Runner>
-runtime::IterativeResult run_stage(PipelineReport& rep,
-                                   const PipelineOptions& opts, const char* tag,
-                                   std::size_t index, Runner&& runner) {
-  stage_event(opts, obs::EventKind::StageStart, tag, rep.rounds, index);
-  runtime::IterativeResult r = runner(stage_opts(opts, tag));
-  stage_event(opts, obs::EventKind::StageEnd, tag, rep.rounds + r.rounds,
-              r.rounds, r.wall_ns);
-  fold_stage(rep, r);
-  return r;
-}
 
 /// Shared preamble: identity coloring -> Linial fixed point.
 runtime::IterativeResult run_linial(graph::GraphView g,
@@ -66,18 +26,6 @@ runtime::IterativeResult run_linial(graph::GraphView g,
   const std::uint64_t id_space =
       std::max<std::uint64_t>(g.n(), 1) * std::max<std::uint64_t>(1, opts.id_space_factor);
   return linial_color(g, identity_coloring(g.n()), id_space, delta, iter);
-}
-
-void finish(PipelineReport& rep, graph::GraphView g) {
-  rep.palette = graph::palette_size(rep.colors);
-  rep.proper = graph::is_proper_coloring(g, rep.colors);
-}
-
-PipelineReport fresh_report() {
-  PipelineReport rep;
-  rep.converged = true;         // absorb() ANDs per-stage convergence in
-  rep.proper_each_round = true;  // likewise for the iterative invariant
-  return rep;
 }
 
 }  // namespace

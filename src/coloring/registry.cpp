@@ -1,0 +1,110 @@
+#include "agc/coloring/registry.hpp"
+
+#include <algorithm>
+
+#include "agc/arb/eps_coloring.hpp"
+#include "agc/coloring/fyz.hpp"
+#include "agc/coloring/luby.hpp"
+#include "agc/math/primes.hpp"
+
+/// \file registry.cpp
+/// Registry table + the classwise adapters.  Lives in its own library
+/// (agc_algoreg) above agc_arb: the registry spans the locally-iterative
+/// pipelines AND the arbdefective classwise entry points, and agc_arb itself
+/// links agc_coloring — folding this table into either would cycle.
+
+namespace agc::coloring {
+
+namespace {
+
+std::uint64_t bound_delta_plus_one(std::size_t delta, const PipelineOptions&) {
+  return static_cast<std::uint64_t>(delta) + 1;
+}
+
+/// AG stops at pairs <0,b> over Z_q with q the smallest prime above 2*Delta.
+std::uint64_t bound_o_delta(std::size_t delta, const PipelineOptions&) {
+  return math::next_prime_above(2 * std::max<std::uint64_t>(delta, 1));
+}
+
+std::uint64_t bound_eps(std::size_t delta, const PipelineOptions& opts) {
+  const double eps = std::max(0.0, opts.eps);
+  return static_cast<std::uint64_t>((1.0 + eps) * static_cast<double>(delta)) + 1;
+}
+
+/// Classwise results carry their round split as (arb seed phase, class
+/// waves); map that onto the pipeline report's core/finish fields.
+PipelineReport from_classwise(arb::ClasswiseResult rep) {
+  PipelineReport r;
+  static_cast<runtime::RunReport&>(r) = rep;
+  r.colors = std::move(rep.colors);
+  r.palette = rep.palette;
+  r.rounds_core = rep.arb_rounds;
+  r.rounds_finish = rep.rounds - std::min(rep.rounds, rep.arb_rounds);
+  r.proper = rep.proper;
+  // Classwise coloring keeps vertices uncolored until their class's wave, so
+  // the locally-iterative invariant does not hold mid-run by construction.
+  r.proper_each_round = false;
+  return r;
+}
+
+std::uint64_t id_space_of(graph::GraphView g, const PipelineOptions& opts) {
+  return std::max<std::uint64_t>(g.n(), 1) *
+         std::max<std::uint64_t>(1, opts.id_space_factor);
+}
+
+PipelineReport run_eps(graph::GraphView g, const PipelineOptions& opts) {
+  return from_classwise(
+      arb::eps_delta_coloring(g, opts.eps, id_space_of(g, opts), opts.run()));
+}
+
+PipelineReport run_sublinear(graph::GraphView g, const PipelineOptions& opts) {
+  return from_classwise(
+      arb::sublinear_delta_plus_one(g, id_space_of(g, opts), opts.run()));
+}
+
+constexpr const char* kIter = "locally-iterative";
+constexpr const char* kClasswise = "classwise";
+
+const AlgoSpec kAlgos[] = {
+    {"gps", kIter, "Linial + greedy baseline, O(Delta^2 + log* n)",
+     &bound_delta_plus_one, false, &color_linial_greedy},
+    {"kw", kIter, "Kuhn-Wattenhofer barrier baseline, O(Delta log Delta + log* n)",
+     &bound_delta_plus_one, false, &color_kuhn_wattenhofer},
+    {"ag", kIter, "AG pipeline, Delta+1 colors in O(Delta + log* n)",
+     &bound_delta_plus_one, false, &color_delta_plus_one},
+    {"exact", kIter, "mixed 3AG/AG(N) pipeline, exactly Delta+1 colors",
+     &bound_delta_plus_one, false, &color_delta_plus_one_exact},
+    {"odelta", kIter, "stop after AG with O(Delta) colors",
+     &bound_o_delta, false, &color_o_delta},
+    {"fyz", kIter, "Fu-Yin-Zheng sublinear-in-Delta (Delta+1), "
+     "O(Delta^(3/4) log Delta + log* n)",
+     &bound_delta_plus_one, false, &color_fyz},
+    {"eps", kClasswise, "arbdefective classwise (1+eps)Delta coloring",
+     &bound_eps, false, &run_eps},
+    {"sublinear", kClasswise, "arbdefective classwise (Delta+1), sublinear in Delta",
+     &bound_delta_plus_one, false, &run_sublinear},
+    {"luby", "randomized", "seeded Luby-style (Delta+1), O(log n) expected",
+     &bound_delta_plus_one, true, &color_luby},
+};
+
+}  // namespace
+
+std::span<const AlgoSpec> algos() noexcept { return kAlgos; }
+
+const AlgoSpec* find_algo(std::string_view name) noexcept {
+  for (const AlgoSpec& a : kAlgos) {
+    if (name == a.name) return &a;
+  }
+  return nullptr;
+}
+
+std::string algo_list() {
+  std::string out;
+  for (const AlgoSpec& a : kAlgos) {
+    if (!out.empty()) out += ", ";
+    out += a.name;
+  }
+  return out;
+}
+
+}  // namespace agc::coloring

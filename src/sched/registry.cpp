@@ -3,8 +3,7 @@
 #include <memory>
 #include <vector>
 
-#include "agc/arb/eps_coloring.hpp"
-#include "agc/coloring/pipeline.hpp"
+#include "agc/coloring/registry.hpp"
 #include "agc/coloring/symmetry.hpp"
 #include "agc/faultlab/channel.hpp"
 #include "agc/faultlab/harness.hpp"
@@ -58,36 +57,21 @@ coloring::PipelineOptions pipeline_options(const RunnerContext& ctx) {
   return po;
 }
 
-JobResult run_gps(const RunnerContext& ctx) {
-  return from_pipeline(coloring::color_linial_greedy(ctx.g, pipeline_options(ctx)));
-}
-
-JobResult run_kw(const RunnerContext& ctx) {
-  return from_pipeline(coloring::color_kuhn_wattenhofer(ctx.g, pipeline_options(ctx)));
-}
-
-JobResult run_ag(const RunnerContext& ctx) {
-  return from_pipeline(coloring::color_delta_plus_one(ctx.g, pipeline_options(ctx)));
-}
-
-JobResult run_exact(const RunnerContext& ctx) {
-  return from_pipeline(
-      coloring::color_delta_plus_one_exact(ctx.g, pipeline_options(ctx)));
-}
-
-JobResult run_odelta(const RunnerContext& ctx) {
-  return from_pipeline(coloring::color_o_delta(ctx.g, pipeline_options(ctx)));
-}
-
-JobResult run_sublinear(const RunnerContext& ctx) {
-  const auto rep = arb::sublinear_delta_plus_one(
-      ctx.g, ctx.g.n() * ctx.spec.id_space_factor, ctx.opts);
-  JobResult r;
-  static_cast<runtime::RunReport&>(r) = rep;
-  r.ok = rep.converged && rep.proper;
-  r.palette = rep.palette;
-  r.values = {{"arb_rounds", d(rep.arb_rounds)}};
-  return r;
+/// The one coloring runner: every algorithm in coloring::algos() dispatches
+/// through here by its own registry name — no per-algorithm switch.  The job
+/// seed flows into RunOptions::seed (rotated per retry attempt), which is
+/// how randomized entries like luby get their trajectory.
+JobResult run_registered(const RunnerContext& ctx) {
+  const coloring::AlgoSpec* algo = coloring::find_algo(ctx.spec.algorithm);
+  if (algo == nullptr) {
+    JobResult r;
+    r.error = "unknown algorithm '" + ctx.spec.algorithm +
+              "' (available: " + coloring::algo_list() + ")";
+    return r;
+  }
+  coloring::PipelineOptions po = pipeline_options(ctx);
+  po.run().seed = attempt_seed(ctx.spec.seed, ctx.attempt);
+  return from_pipeline(algo->run(ctx.g, po));
 }
 
 JobResult run_mis(const RunnerContext& ctx) {
@@ -325,16 +309,9 @@ JobResult run_ss_line(const RunnerContext& ctx) {
   return run_ss(ctx, SsTask::Line);
 }
 
-const Runner kRunners[] = {
-    {"gps", "Linial + greedy baseline, O(Delta^2 + log* n)", &run_gps, false},
-    {"kw", "Kuhn-Wattenhofer barrier baseline, O(Delta log Delta + log* n)",
-     &run_kw, false},
-    {"ag", "AG pipeline, Delta+1 colors in O(Delta + log* n)", &run_ag, false},
-    {"exact", "mixed 3AG/AG(N) pipeline, exactly Delta+1 colors", &run_exact,
-     false},
-    {"odelta", "stop after AG with O(Delta) colors", &run_odelta, false},
-    {"sublinear", "arbdefective classwise (Delta+1), sublinear in Delta",
-     &run_sublinear, false},
+/// The non-coloring runners keep bespoke entries; everything in
+/// coloring::algos() rides the shared run_registered dispatcher.
+const Runner kExtraRunners[] = {
     {"mis", "AG coloring + MIS decision wave", &run_mis, false},
     {"matching", "maximal matching via line-graph MIS", &run_matching, false},
     {"ss-color", "self-stabilizing O(Delta)-coloring under faults",
@@ -347,12 +324,24 @@ const Runner kRunners[] = {
      &run_ss_line, true},
 };
 
+std::vector<Runner> build_runners() {
+  std::vector<Runner> out;
+  for (const coloring::AlgoSpec& a : coloring::algos()) {
+    out.push_back({a.name, a.summary, &run_registered, false});
+  }
+  out.insert(out.end(), std::begin(kExtraRunners), std::end(kExtraRunners));
+  return out;
+}
+
 }  // namespace
 
-std::span<const Runner> runners() { return kRunners; }
+std::span<const Runner> runners() {
+  static const std::vector<Runner> all = build_runners();
+  return all;
+}
 
 const Runner* find_runner(std::string_view name) {
-  for (const auto& r : kRunners) {
+  for (const auto& r : runners()) {
     if (name == r.name) return &r;
   }
   return nullptr;

@@ -1,7 +1,8 @@
 // agccli — command-line front end for the agcolor library.
 //
-//   agccli color    --graph <spec> [--algo ag|exact|kw|gps|odelta|eps|sublinear]
-//                   [--model setlocal|local|congest] [--eps <x>]
+//   agccli color    --graph <spec> [--algo <name>]  (names: coloring registry,
+//                   `agccli campaign ls --runners`; default ag)
+//                   [--model setlocal|local|congest] [--eps <x>] [--seed <s>]
 //                   [--threads <n>] [--executor bsp|async]
 //                   [--csv <file>] [--dot <file>]
 //   agccli edges    --graph <spec> [--bit-round] [--no-exact] [--csv <file>]
@@ -72,8 +73,7 @@
 #include <string>
 #include <thread>
 
-#include "agc/arb/eps_coloring.hpp"
-#include "agc/coloring/pipeline.hpp"
+#include "agc/coloring/registry.hpp"
 #include "agc/obs/event_sink.hpp"
 #include "agc/coloring/symmetry.hpp"
 #include "agc/edge/edge_coloring.hpp"
@@ -217,58 +217,38 @@ int cmd_color(const Args& a) {
     usage("unknown --model");
   }
 
+  opts.eps = std::strtod(a.get("eps", "0.5").c_str(), nullptr);
+  opts.run().seed = std::strtoull(a.get("seed", "1").c_str(), nullptr, 10);
+
   const std::string algo = a.get("algo", "ag");
-  std::vector<coloring::Color> colors;
-  std::size_t rounds = 0, palette = 0;
-  bool ok = false;
-  runtime::RunReport core;
-  if (algo == "eps" || algo == "sublinear") {
-    const auto rep =
-        algo == "eps"
-            ? arb::eps_delta_coloring(
-                  g, std::strtod(a.get("eps", "0.5").c_str(), nullptr), 0,
-                  static_cast<const runtime::RunOptions&>(opts.iter))
-            : arb::sublinear_delta_plus_one(
-                  g, 0, static_cast<const runtime::RunOptions&>(opts.iter));
-    colors = rep.colors;
-    rounds = rep.rounds;
-    palette = rep.palette;
-    ok = rep.converged && rep.proper;
-    core = rep;
-  } else {
-    coloring::PipelineReport rep;
-    if (algo == "ag") {
-      rep = coloring::color_delta_plus_one(g, opts);
-    } else if (algo == "exact") {
-      rep = coloring::color_delta_plus_one_exact(g, opts);
-    } else if (algo == "kw") {
-      rep = coloring::color_kuhn_wattenhofer(g, opts);
-    } else if (algo == "gps") {
-      rep = coloring::color_linial_greedy(g, opts);
-    } else if (algo == "odelta") {
-      rep = coloring::color_o_delta(g, opts);
-    } else {
-      usage("unknown --algo");
-    }
-    colors = rep.colors;
-    rounds = rep.rounds;
-    palette = rep.palette;
-    ok = rep.converged && rep.proper;
-    core = rep;
+  const coloring::AlgoSpec* spec = coloring::find_algo(algo);
+  if (spec == nullptr) {
+    std::fprintf(stderr,
+                 "error: unknown --algo '%s'\navailable algorithms: %s\n",
+                 algo.c_str(), coloring::algo_list().c_str());
+    std::exit(2);
   }
+  const coloring::PipelineReport rep = spec->run(g, opts);
+  const bool ok = rep.converged && rep.proper;
 
   std::printf("n=%zu m=%zu Delta=%zu algo=%s model=%s\n", g.n(), g.m(),
               g.max_degree(), algo.c_str(), model.c_str());
-  std::printf("rounds=%zu palette=%zu proper=%s\n", rounds, palette,
-              ok ? "yes" : "NO");
-  ob.report(core);
+  if (spec->requires_seed) {
+    std::printf("rounds=%zu palette=%zu proper=%s seed=%llu\n", rep.rounds,
+                rep.palette, ok ? "yes" : "NO",
+                static_cast<unsigned long long>(opts.run().seed));
+  } else {
+    std::printf("rounds=%zu palette=%zu proper=%s\n", rep.rounds, rep.palette,
+                ok ? "yes" : "NO");
+  }
+  ob.report(rep);
   if (a.has("csv")) {
     std::ofstream out(a.get("csv"));
-    graph::write_coloring_csv(out, colors);
+    graph::write_coloring_csv(out, rep.colors);
   }
   if (a.has("dot")) {
     std::ofstream out(a.get("dot"));
-    graph::write_dot(out, g, colors);
+    graph::write_dot(out, g, rep.colors);
   }
   if (a.has("trace")) {
     std::ofstream out(a.get("trace"));
